@@ -1,0 +1,57 @@
+"""E1 / E2 -- Figures 2(a) and 3: cell I-V curves and module characteristics.
+
+Regenerates the data behind the paper's background figures: the single-diode
+cell I-V family (Isc proportional to G, Voc logarithmic, temperature
+derating) and the PV-MF165EB3 normalised characteristics the empirical
+module model is anchored to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2_iv_curves, figure3_module_characteristics
+
+
+def test_bench_figure2_cell_iv_curves(benchmark):
+    """Figure 2(a): I-V curves across irradiance and temperature."""
+    family = benchmark(figure2_iv_curves)
+
+    isc_by_irradiance = {
+        g: family.curve(g, 25.0)[1][0] for g in family.irradiances
+    }
+    print("\n[Fig 2a] cell Isc vs irradiance (A):")
+    for g, isc in isc_by_irradiance.items():
+        print(f"    G={g:6.0f} W/m^2 -> Isc={isc:5.2f} A")
+    values = list(isc_by_irradiance.values())
+    assert all(b > a for a, b in zip(values, values[1:])), "Isc must grow with G"
+
+    voc_by_temperature = {
+        t: family.curve(family.irradiances[-1], t)[0][-1] for t in family.temperatures
+    }
+    print("[Fig 2a] cell Voc vs temperature (V):")
+    for t, voc in voc_by_temperature.items():
+        print(f"    T={t:5.1f} degC -> Voc={voc:5.3f} V")
+    voc_values = list(voc_by_temperature.values())
+    assert all(b < a for a, b in zip(voc_values, voc_values[1:])), "Voc must drop with T"
+
+
+def test_bench_figure3_module_characteristics(benchmark):
+    """Figure 3: normalised Pmax/Voc/Isc of the PV-MF165EB3 vs G and T."""
+    chars = benchmark(figure3_module_characteristics)
+
+    print("\n[Fig 3] normalised characteristics vs irradiance (T=25 degC):")
+    for g, pmax, isc, voc in zip(
+        chars.irradiances[::6], chars.pmax_vs_g[::6], chars.isc_vs_g[::6], chars.voc_vs_g[::6]
+    ):
+        print(f"    G={g:6.0f}  Pmax={pmax:5.3f}  Isc={isc:5.3f}  Voc={voc:5.3f}")
+    print("[Fig 3] normalised characteristics vs temperature (G=1000 W/m^2):")
+    for t, pmax, voc in zip(chars.temperatures[::5], chars.pmax_vs_t[::5], chars.voc_vs_t[::5]):
+        print(f"    T={t:5.1f}  Pmax={pmax:5.3f}  Voc={voc:5.3f}")
+
+    # Paper anchors: everything equals 1 at STC; power scales ~5x from 200 to
+    # 1000 W/m^2; temperature affects power by tens of percent at most.
+    assert chars.pmax_vs_g[-1] == 1.0
+    idx_200 = int(np.argmin(np.abs(chars.irradiances - 200.0)))
+    assert 4.5 < chars.pmax_vs_g[-1] / chars.pmax_vs_g[idx_200] < 5.5
+    assert 0.6 < chars.pmax_vs_t[-1] / chars.pmax_vs_t[0] < 0.95

@@ -1,0 +1,45 @@
+"""E3 -- Figure 4 / Section V-C: wiring-overhead characterisation.
+
+Reproduces the paper's overhead arithmetic: with AWG 10 cable (~7 mOhm/m) at
+a conservative 4 A string current, each metre of extra cable dissipates
+~0.11 W, i.e. ~0.5 kWh of energy per year at a 50 % duty factor; relative to
+the multi-MWh yearly production of Table I the overhead is a fraction of a
+percent, and the cost is ~1 $/m.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import PAPER_TABLE1, overhead_characterisation
+
+
+def test_bench_overhead_characterisation(benchmark):
+    """Power/energy/cost overhead vs extra cable length (paper Section V-C)."""
+    overhead = benchmark(overhead_characterisation)
+
+    print("\n[Sec V-C] wiring overhead vs extra cable length (4 A string current):")
+    for length, power, energy, cost in zip(
+        overhead.lengths_m[::5],
+        overhead.power_loss_w[::5],
+        overhead.annual_loss_wh[::5],
+        overhead.cost[::5],
+    ):
+        print(
+            f"    L={length:5.1f} m  loss={power:6.3f} W  "
+            f"energy={energy / 1e3:6.2f} kWh/yr  cost=${cost:5.1f}"
+        )
+
+    # Paper figures: ~0.11 W per metre, ~0.5 kWh per metre-year.
+    assert overhead.loss_per_metre_w == np.float64(0.112) or abs(
+        overhead.loss_per_metre_w - 0.112
+    ) < 1e-6
+    per_metre_energy_kwh = overhead.annual_loss_wh[-1] / overhead.lengths_m[-1] / 1e3
+    assert 0.3 < per_metre_energy_kwh < 0.7
+
+    # Relative to the smallest yearly production of Table I (2.957 MWh) the
+    # per-metre overhead is well below 0.1 %, matching the paper's claim.
+    smallest_production_wh = min(row["traditional_mwh"] for row in PAPER_TABLE1) * 1e6
+    per_metre_fraction = (overhead.annual_loss_wh[-1] / overhead.lengths_m[-1]) / smallest_production_wh
+    print(f"    per-metre energy overhead = {per_metre_fraction * 100:.4f} % of yearly production")
+    assert per_metre_fraction < 0.001

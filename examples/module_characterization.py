@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Module characterisation: regenerate the curves of Figures 2(a) and 3.
+
+Prints the single-diode cell I-V family and the PV-MF165EB3 normalised
+characteristics (Pmax, Voc, Isc vs irradiance and temperature) that anchor
+the paper's empirical module model, and cross-checks the empirical model
+against the physics-based cell model at the maximum power point.
+
+Run with:  python examples/module_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2_iv_curves, figure3_module_characteristics
+from repro.pv import paper_module_model, reference_cell_for_module
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 2(a): single-diode cell I-V curves")
+    print("=" * 72)
+    family = figure2_iv_curves()
+    for irradiance in family.irradiances:
+        voltages, currents = family.curve(irradiance, 25.0)
+        print(
+            f"  G = {irradiance:6.0f} W/m^2 : Isc = {currents[0]:5.2f} A, "
+            f"Voc = {voltages[-1]:5.3f} V"
+        )
+    for temperature in family.temperatures:
+        voltages, currents = family.curve(family.irradiances[-1], temperature)
+        print(
+            f"  T = {temperature:5.1f} degC  : Isc = {currents[0]:5.2f} A, "
+            f"Voc = {voltages[-1]:5.3f} V"
+        )
+
+    print()
+    print("=" * 72)
+    print("Figure 3: PV-MF165EB3 normalised characteristics")
+    print("=" * 72)
+    chars = figure3_module_characteristics()
+    print("  vs irradiance (T = 25 degC):")
+    print("    G [W/m^2]   Pmax/Pref   Isc/Iref   Voc/Vref")
+    for g, p, i, v in zip(chars.irradiances, chars.pmax_vs_g, chars.isc_vs_g, chars.voc_vs_g):
+        print(f"    {g:9.0f}   {p:9.3f}   {i:8.3f}   {v:8.3f}")
+    print("  vs temperature (G = 1000 W/m^2):")
+    print("    T [degC]    Pmax/Pref   Voc/Vref")
+    for t, p, v in zip(chars.temperatures, chars.pmax_vs_t, chars.voc_vs_t):
+        print(f"    {t:8.1f}   {p:9.3f}   {v:8.3f}")
+
+    print()
+    print("=" * 72)
+    print("Cross-check: empirical module model vs 50-cell single-diode stack")
+    print("=" * 72)
+    module = paper_module_model()
+    cell = reference_cell_for_module(module_isc=7.36, module_voc=30.4, n_cells=50)
+    print("    G [W/m^2]   empirical Pmpp [W]   single-diode Pmpp [W]   ratio")
+    for irradiance in (200.0, 400.0, 600.0, 800.0, 1000.0):
+        empirical = float(
+            module.power_at_cell_temperature(np.array([irradiance]), np.array([25.0]))[0]
+        )
+        _, _, p_cell = cell.maximum_power_point(irradiance, 25.0)
+        physical = p_cell * 50  # 50 series cells share the same current
+        print(f"    {irradiance:9.0f}   {empirical:18.1f}   {physical:21.1f}   {empirical / physical:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this shim exists so that editable
+installs keep working on minimal offline environments where the ``wheel``
+package (required by the PEP 660 editable-install path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,163 @@
+"""repro: GIS-based optimal PV panel floorplanning (DATE 2018 reproduction).
+
+The package reproduces the system described in
+
+    S. Vinco, L. Bottaccioli, E. Patti, A. Acquaviva, E. Macii, M. Poncino,
+    "GIS-Based Optimal Photovoltaic Panel Floorplanning for Residential
+    Installations", DATE 2018.
+
+High-level usage (see also ``examples/quickstart.py``)::
+
+    from repro import plan_roof
+    from repro.gis import simple_residential_roof
+
+    result = plan_roof(simple_residential_roof(), n_modules=8)
+    print(result.report())
+
+Sub-packages
+------------
+``repro.geometry``    points, polygons, rasters, roof-plane frames
+``repro.gis``         DSM handling, synthetic scenes, suitable-area extraction
+``repro.solar``       sun position, clear-sky / decomposition / transposition
+                      models, DSM shading, roof irradiance fields
+``repro.weather``     synthetic weather (clearness, temperature) generation
+``repro.pv``          cell/module/array electrical models, MPPT, wiring
+``repro.core``        the floorplanning algorithms (greedy, traditional, ILP,
+                      exhaustive) and the energy evaluator
+``repro.analysis``    reports, maps, structural placement metrics
+``repro.io``          DSM (.asc), weather CSV, placement JSON
+``repro.experiments`` the paper's case studies and per-table/figure drivers
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .constants import DEFAULT_GRID_PITCH
+from .core import (
+    FloorplanProblem,
+    GreedyResult,
+    PlacementComparison,
+    TraditionalResult,
+    compare_placements,
+    default_topology,
+    greedy_floorplan,
+    traditional_floorplan,
+)
+from .errors import ReproError
+from .gis import RoofSpec, build_roof_scene, make_roof_grid, suitable_grid_for_scene
+from .pv.datasheet import PV_MF165EB3, ModuleDatasheet
+from .solar import SolarSimulationConfig, TimeGrid, compute_roof_solar_field
+from .weather import SyntheticWeatherConfig, WeatherSeries, generate_weather
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "RoofPlanResult",
+    "plan_roof",
+    "FloorplanProblem",
+    "default_topology",
+    "greedy_floorplan",
+    "traditional_floorplan",
+    "compare_placements",
+]
+
+
+@dataclass
+class RoofPlanResult:
+    """Outcome of the end-to-end :func:`plan_roof` pipeline."""
+
+    problem: FloorplanProblem
+    greedy: GreedyResult
+    traditional: TraditionalResult
+    comparison: PlacementComparison
+
+    @property
+    def improvement_percent(self) -> float:
+        """Energy gain of the proposed placement over the compact baseline."""
+        return self.comparison.improvement_percent
+
+    def report(self) -> str:
+        """Short human-readable summary of the run."""
+        baseline = self.comparison.baseline
+        candidate = self.comparison.candidate
+        return (
+            f"{self.problem.label}: N={self.problem.n_modules} "
+            f"({self.problem.topology.n_series}s x {self.problem.topology.n_parallel}p)\n"
+            f"  traditional : {baseline.annual_energy_mwh:8.3f} MWh/year\n"
+            f"  proposed    : {candidate.annual_energy_mwh:8.3f} MWh/year "
+            f"({self.improvement_percent:+.2f} %)\n"
+            f"  extra cable : {candidate.wiring_extra_length_m:6.1f} m "
+            f"({candidate.wiring_loss_fraction * 100:.3f} % energy loss)"
+        )
+
+
+def plan_roof(
+    spec: RoofSpec,
+    n_modules: int,
+    n_series: int | None = None,
+    datasheet: ModuleDatasheet = PV_MF165EB3,
+    grid_pitch: float = DEFAULT_GRID_PITCH,
+    time_grid: Optional[TimeGrid] = None,
+    weather: Optional[WeatherSeries] = None,
+    weather_seed: int = 0,
+    solar_config: Optional[SolarSimulationConfig] = None,
+) -> RoofPlanResult:
+    """End-to-end pipeline: roof description -> optimal placement and report.
+
+    Builds the synthetic scene, extracts the suitable area, simulates the
+    spatio-temporal irradiance, and runs both the traditional baseline and
+    the paper's greedy floorplanner, returning their comparison.
+
+    Parameters
+    ----------
+    spec:
+        The roof (size, tilt, azimuth, obstacles, neighbours).
+    n_modules:
+        Number of identical modules to place.
+    n_series:
+        Modules per series string; defaults to 8 (or to ``n_modules`` when
+        fewer than 8 modules are requested).
+    datasheet:
+        Module to install (the paper's PV-MF165EB3 by default).
+    grid_pitch:
+        Virtual-grid pitch ``s`` in metres.
+    time_grid:
+        Temporal sampling; defaults to an hourly simulation of every 7th
+        day (fast, unbiased yearly estimate).
+    weather:
+        A weather series to reuse; synthesised from ``weather_seed`` when
+        omitted.
+    solar_config:
+        Options of the irradiance simulation.
+    """
+    grid_time = time_grid if time_grid is not None else TimeGrid(step_minutes=60.0, day_stride=7)
+    series = (
+        generate_weather(grid_time, SyntheticWeatherConfig(seed=weather_seed))
+        if weather is None
+        else weather
+    )
+
+    scene = build_roof_scene(spec)
+    grid = make_roof_grid(scene, pitch=grid_pitch)
+    grid = suitable_grid_for_scene(scene, grid)
+    solar = compute_roof_solar_field(scene, grid, series, solar_config)
+
+    topology = default_topology(n_modules, n_series if n_series is not None else 8)
+    problem = FloorplanProblem(
+        grid=grid,
+        solar=solar,
+        n_modules=n_modules,
+        topology=topology,
+        datasheet=datasheet,
+        label=spec.name,
+    )
+    traditional = traditional_floorplan(problem)
+    greedy = greedy_floorplan(problem, suitability=traditional.suitability)
+    comparison = compare_placements(problem, traditional.placement, greedy.placement)
+    return RoofPlanResult(
+        problem=problem, greedy=greedy, traditional=traditional, comparison=comparison
+    )

@@ -1,0 +1,131 @@
+"""Placement-to-placement structural comparisons.
+
+Beyond the energy delta (handled by :mod:`repro.core.evaluation`), the paper
+discusses *why* its placements win: they are sparser, they hug the most
+irradiated cells, and their strings avoid weak modules.  The metrics in this
+module quantify those structural properties so experiments can report them
+alongside the energy numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.placement import Placement
+from ..core.suitability import SuitabilityMap
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class PlacementShapeMetrics:
+    """Geometric descriptors of one placement."""
+
+    dispersion_m: float
+    bounding_box_area_m2: float
+    covered_area_m2: float
+    packing_density: float
+    mean_footprint_suitability: float
+    min_footprint_suitability: float
+
+    def as_dict(self) -> dict:
+        """Flat dictionary representation."""
+        return {
+            "dispersion_m": self.dispersion_m,
+            "bounding_box_area_m2": self.bounding_box_area_m2,
+            "covered_area_m2": self.covered_area_m2,
+            "packing_density": self.packing_density,
+            "mean_footprint_suitability": self.mean_footprint_suitability,
+            "min_footprint_suitability": self.min_footprint_suitability,
+        }
+
+
+def placement_shape_metrics(
+    placement: Placement, suitability: SuitabilityMap
+) -> PlacementShapeMetrics:
+    """Compute the geometric descriptors of a placement."""
+    pitch = placement.grid_pitch
+    row_min, col_min, row_max, col_max = placement.bounding_box_cells()
+    bbox_area = (row_max - row_min + 1) * (col_max - col_min + 1) * pitch**2
+    covered = placement.covered_cells()
+    covered_area = covered.shape[0] * pitch**2
+
+    per_module_scores = []
+    for cells in placement.covered_cells_by_module():
+        values = suitability.values[cells[:, 0], cells[:, 1]]
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            raise ReproError("a module covers only invalid suitability cells")
+        per_module_scores.append(float(np.mean(finite)))
+
+    return PlacementShapeMetrics(
+        dispersion_m=placement.dispersion_m(),
+        bounding_box_area_m2=float(bbox_area),
+        covered_area_m2=float(covered_area),
+        packing_density=float(covered_area / bbox_area) if bbox_area > 0 else 0.0,
+        mean_footprint_suitability=float(np.mean(per_module_scores)),
+        min_footprint_suitability=float(np.min(per_module_scores)),
+    )
+
+
+@dataclass(frozen=True)
+class StringUniformityMetrics:
+    """Irradiance uniformity inside each series string.
+
+    The energy a string extracts is capped by its least irradiated module,
+    so the relevant statistic is the per-string ratio between the weakest
+    module's suitability and the string mean (1 = perfectly uniform).
+    """
+
+    per_string_min_over_mean: tuple
+    worst_ratio: float
+    mean_ratio: float
+
+    def as_dict(self) -> dict:
+        """Flat dictionary representation."""
+        return {
+            "per_string_min_over_mean": list(self.per_string_min_over_mean),
+            "worst_ratio": self.worst_ratio,
+            "mean_ratio": self.mean_ratio,
+        }
+
+
+def string_uniformity(
+    placement: Placement, suitability: SuitabilityMap
+) -> StringUniformityMetrics:
+    """Quantify the weak-module exposure of every series string."""
+    module_scores = []
+    for cells in placement.covered_cells_by_module():
+        values = suitability.values[cells[:, 0], cells[:, 1]]
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            raise ReproError("a module covers only invalid suitability cells")
+        module_scores.append(float(np.mean(finite)))
+
+    ratios = []
+    for string_index in range(placement.topology.n_parallel):
+        members = placement.topology.modules_of_string(string_index)
+        scores = np.array([module_scores[i] for i in members])
+        mean = float(np.mean(scores))
+        ratios.append(float(np.min(scores) / mean) if mean > 0 else 0.0)
+    return StringUniformityMetrics(
+        per_string_min_over_mean=tuple(ratios),
+        worst_ratio=float(np.min(ratios)),
+        mean_ratio=float(np.mean(ratios)),
+    )
+
+
+def overlap_fraction(first: Placement, second: Placement, shape: tuple[int, int]) -> float:
+    """Fraction of the first placement's cells also covered by the second.
+
+    Used to verify the paper's observation that the proposed placements
+    "tend to be placed nearby the traditional placements, yet they are
+    sparser".
+    """
+    occupancy_first = first.occupancy_map(shape) >= 0
+    occupancy_second = second.occupancy_map(shape) >= 0
+    covered_first = int(np.count_nonzero(occupancy_first))
+    if covered_first == 0:
+        raise ReproError("the first placement covers no cells")
+    return float(np.count_nonzero(occupancy_first & occupancy_second)) / covered_first

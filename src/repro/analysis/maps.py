@@ -1,0 +1,123 @@
+"""Text/array renderings of roof maps (irradiance, suitability, placements).
+
+The paper's Figures 6(b) and 7 are colour raster images; in a plotting-free
+environment the equivalent artefacts are (i) the underlying numpy arrays,
+which the benchmarks dump to disk, and (ii) compact ASCII renderings that
+make the spatial structure visible in test logs and example output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..core.placement import Placement
+
+#: Characters from "dark" to "bright" used by the ASCII renderer.
+_SHADES = " .:-=+*#%@"
+
+
+def downsample_map(values: np.ndarray, max_rows: int = 24, max_cols: int = 72) -> np.ndarray:
+    """Block-average a map down to at most ``max_rows x max_cols`` cells.
+
+    NaN cells are ignored inside each block; blocks that are entirely NaN
+    stay NaN.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 2:
+        raise ReproError("expected a 2D map")
+    n_rows, n_cols = array.shape
+    row_factor = max(1, int(np.ceil(n_rows / max_rows)))
+    col_factor = max(1, int(np.ceil(n_cols / max_cols)))
+    out_rows = int(np.ceil(n_rows / row_factor))
+    out_cols = int(np.ceil(n_cols / col_factor))
+    result = np.full((out_rows, out_cols), np.nan)
+    for i in range(out_rows):
+        for j in range(out_cols):
+            block = array[
+                i * row_factor : (i + 1) * row_factor, j * col_factor : (j + 1) * col_factor
+            ]
+            finite = block[np.isfinite(block)]
+            if finite.size:
+                result[i, j] = float(np.mean(finite))
+    return result
+
+
+def ascii_heatmap(values: np.ndarray, max_rows: int = 24, max_cols: int = 72) -> str:
+    """Render a map as an ASCII heat map (brighter character = larger value).
+
+    Rows are printed north-side-up (the last grid row first) so the output
+    matches the usual map orientation.
+    """
+    reduced = downsample_map(values, max_rows, max_cols)
+    finite = reduced[np.isfinite(reduced)]
+    if finite.size == 0:
+        return "(empty map)"
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for row in reduced[::-1]:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append(" ")
+            else:
+                level = int((value - lo) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def placement_ascii(
+    placement: Placement, shape: tuple[int, int], max_rows: int = 24, max_cols: int = 72
+) -> str:
+    """Render a placement as an ASCII map; letters identify series strings.
+
+    Free cells are '.', cells outside any module keep their marker, and each
+    string is drawn with a different letter (A, B, C, ...), mirroring the
+    colour coding of the paper's Figure 7.
+    """
+    strings = placement.string_map(shape).astype(float)
+    strings[strings < 0] = np.nan
+    reduced = downsample_map(strings, max_rows, max_cols)
+    lines = []
+    for row in reduced[::-1]:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append(".")
+            else:
+                chars.append(chr(ord("A") + int(round(value)) % 26))
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def map_statistics(values: np.ndarray) -> dict:
+    """Summary statistics of a map, ignoring NaN cells."""
+    array = np.asarray(values, dtype=float)
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        raise ReproError("the map has no finite cells")
+    return {
+        "n_cells": int(finite.size),
+        "min": float(finite.min()),
+        "max": float(finite.max()),
+        "mean": float(finite.mean()),
+        "std": float(finite.std()),
+        "p25": float(np.percentile(finite, 25)),
+        "p50": float(np.percentile(finite, 50)),
+        "p75": float(np.percentile(finite, 75)),
+    }
+
+
+def spatial_variation_coefficient(values: np.ndarray) -> float:
+    """Coefficient of variation (std/mean) of a map's finite cells.
+
+    The paper links the benefit of the sparse placement to the spatial
+    variance of the irradiance map; this is the scalar the ablation and
+    sensitivity benchmarks use to quantify it.
+    """
+    stats = map_statistics(values)
+    if stats["mean"] == 0:
+        return 0.0
+    return stats["std"] / stats["mean"]

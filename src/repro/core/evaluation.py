@@ -1,0 +1,267 @@
+"""Energy evaluation of a placement.
+
+Evaluation is where the paper's central modelling choice lives: the energy
+of a floorplan is *not* the sum of the individual module energies; every
+time step is aggregated through the series/parallel panel model, so a string
+containing one poorly irradiated module is throttled to that module's
+current (the "weak module" bottleneck discussed in Section V-B).  Wiring
+losses of the sparse placement are accounted for by dissipating each
+string's extra cable resistance at the string's instantaneous current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PlacementError
+from ..pv.mppt import MPPTModel
+from ..pv.wiring import WiringSpec, string_extra_length, wiring_overhead_report
+from ..units import wh_to_mwh
+from .placement import Placement
+from .problem import FloorplanProblem
+
+
+@dataclass(frozen=True)
+class PlacementEvaluation:
+    """Energy accounting of one placement over the simulated year."""
+
+    placement_label: str
+    annual_energy_wh: float
+    gross_energy_wh: float
+    wiring_loss_wh: float
+    wiring_extra_length_m: float
+    wiring_extra_cost: float
+    mean_mismatch_loss: float
+    peak_power_w: float
+    capacity_factor: float
+    power_series_w: Optional[np.ndarray] = None
+
+    @property
+    def annual_energy_mwh(self) -> float:
+        """Net yearly energy in MWh (the unit of the paper's Table I)."""
+        return wh_to_mwh(self.annual_energy_wh)
+
+    @property
+    def wiring_loss_fraction(self) -> float:
+        """Wiring loss as a fraction of the gross yearly energy."""
+        if self.gross_energy_wh <= 0:
+            return 0.0
+        return self.wiring_loss_wh / self.gross_energy_wh
+
+    def summary(self) -> dict:
+        """Flat dictionary for reports."""
+        return {
+            "placement": self.placement_label,
+            "annual_energy_mwh": self.annual_energy_mwh,
+            "gross_energy_mwh": wh_to_mwh(self.gross_energy_wh),
+            "wiring_loss_wh": self.wiring_loss_wh,
+            "wiring_loss_fraction": self.wiring_loss_fraction,
+            "wiring_extra_length_m": self.wiring_extra_length_m,
+            "wiring_extra_cost": self.wiring_extra_cost,
+            "mean_mismatch_loss": self.mean_mismatch_loss,
+            "peak_power_w": self.peak_power_w,
+            "capacity_factor": self.capacity_factor,
+        }
+
+
+def module_irradiance_series(
+    problem: FloorplanProblem,
+    placement: Placement,
+    aggregation: str = "substring-min",
+    n_substrings: int = 2,
+) -> np.ndarray:
+    """Per-module *effective* plane-of-array irradiance, shape ``(n_time, N)``.
+
+    A module covers k1 x k2 grid cells whose irradiance may differ (shadow
+    trails of vents, pipes and neighbouring volumes).  How those cell values
+    combine into the module's effective irradiance is governed by
+    ``aggregation``:
+
+    * ``"substring-min"`` (default) -- the module's cells are grouped into
+      ``n_substrings`` bypass-diode substrings along the module's long side;
+      the effective irradiance is the *minimum* of the substring means.
+      This models the series-cell mismatch the paper's background section
+      describes (Section II-B: non-uniform irradiance on the cells limits
+      the module output): a shadow trail crossing part of a module throttles
+      the whole module to its worst substring.
+    * ``"mean"`` -- simple average of the covered cells; optimistic (assumes
+      perfect intra-module mixing) and used by the ablation benchmarks.
+    """
+    if aggregation not in ("substring-min", "mean"):
+        raise PlacementError(f"unknown module aggregation {aggregation!r}")
+    if n_substrings < 1:
+        raise PlacementError("n_substrings must be >= 1")
+    solar = problem.solar
+    series = np.empty((solar.n_time, placement.n_modules), dtype=float)
+    for module in placement:
+        cells = module.covered_cells(placement.footprint)
+        cell_series = solar.irradiance_for_cells(cells)
+        if aggregation == "mean" or n_substrings == 1:
+            series[:, module.module_index] = np.mean(cell_series, axis=1)
+            continue
+        # Split the cells into substrings along the module's long side.  The
+        # covered_cells array enumerates rows x cols of the footprint in
+        # C-order, so grouping by the long-axis coordinate is a reshape.
+        footprint = module.footprint(placement.footprint)
+        long_axis_is_cols = footprint.cells_w >= footprint.cells_h
+        if long_axis_is_cols:
+            long_coord = cells[:, 1] - cells[:, 1].min()
+            n_long = footprint.cells_w
+        else:
+            long_coord = cells[:, 0] - cells[:, 0].min()
+            n_long = footprint.cells_h
+        groups = np.minimum(
+            (long_coord * n_substrings) // max(n_long, 1), n_substrings - 1
+        )
+        substring_means = np.stack(
+            [
+                np.mean(cell_series[:, groups == g], axis=1)
+                for g in range(n_substrings)
+                if np.any(groups == g)
+            ],
+            axis=1,
+        )
+        series[:, module.module_index] = np.min(substring_means, axis=1)
+    return series
+
+
+def evaluate_placement(
+    problem: FloorplanProblem,
+    placement: Placement,
+    include_wiring_loss: bool = True,
+    mppt: MPPTModel | None = None,
+    wiring_spec: WiringSpec | None = None,
+    store_power_series: bool = False,
+    module_aggregation: str = "substring-min",
+) -> PlacementEvaluation:
+    """Compute the yearly energy of a placement on a problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The floorplanning instance (grid, solar data, module, topology).
+    placement:
+        The floorplan to evaluate; it is validated against the grid first.
+    include_wiring_loss:
+        Subtract the resistive loss of the extra string cabling.
+    mppt:
+        Optional MPPT/conversion efficiency applied to the panel power.
+    wiring_spec:
+        Cable characteristics for the wiring-loss model.
+    store_power_series:
+        Keep the full panel power series in the result (memory permitting).
+    module_aggregation:
+        How the cells covered by a module combine into its effective
+        irradiance (see :func:`module_irradiance_series`).
+    """
+    placement.validate(problem.grid)
+    if placement.n_modules != problem.n_modules:
+        raise PlacementError(
+            "placement and problem disagree on the number of modules "
+            f"({placement.n_modules} vs {problem.n_modules})"
+        )
+
+    array = problem.array
+    tracker = mppt if mppt is not None else MPPTModel()
+    wiring = wiring_spec if wiring_spec is not None else WiringSpec()
+    time_grid = problem.solar.time_grid
+
+    irradiance = module_irradiance_series(problem, placement, aggregation=module_aggregation)
+    ambient = problem.solar.temperature
+
+    operating = array.operating_point_from_conditions(irradiance, ambient)
+    gross_power = tracker.extracted_power(operating.power_w)
+
+    # Wiring loss: each string dissipates R * L_extra * I_string(t)^2.
+    string_positions = placement.string_positions()
+    extra_lengths = np.array(
+        [string_extra_length(positions, wiring) for positions in string_positions]
+    )
+    string_currents = operating.string_currents_a  # (n_time, n_parallel)
+    loss_power = np.sum(
+        wiring.resistance_per_m * extra_lengths[None, :] * string_currents**2, axis=1
+    )
+    if include_wiring_loss:
+        net_power = np.maximum(gross_power - loss_power, 0.0)
+    else:
+        net_power = gross_power
+
+    gross_energy = time_grid.integrate_energy_wh(gross_power)
+    net_energy = time_grid.integrate_energy_wh(net_power)
+    wiring_loss = time_grid.integrate_energy_wh(loss_power) if include_wiring_loss else 0.0
+
+    mismatch = array.mismatch_loss_fraction(irradiance, ambient)
+    daylight = operating.power_w > 1.0
+    mean_mismatch = float(np.mean(mismatch[daylight])) if np.any(daylight) else 0.0
+
+    peak_power = float(np.max(net_power)) if net_power.size else 0.0
+    hours_per_year = 8760.0
+    capacity_factor = (
+        net_energy / (problem.nameplate_power_w * hours_per_year)
+        if problem.nameplate_power_w > 0
+        else 0.0
+    )
+
+    overhead = wiring_overhead_report(string_positions, spec=wiring)
+
+    return PlacementEvaluation(
+        placement_label=placement.label,
+        annual_energy_wh=float(net_energy),
+        gross_energy_wh=float(gross_energy),
+        wiring_loss_wh=float(wiring_loss),
+        wiring_extra_length_m=float(overhead.total_extra_m),
+        wiring_extra_cost=float(overhead.extra_cost),
+        mean_mismatch_loss=mean_mismatch,
+        peak_power_w=peak_power,
+        capacity_factor=float(capacity_factor),
+        power_series_w=net_power if store_power_series else None,
+    )
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Side-by-side comparison of two placements on the same problem."""
+
+    baseline: PlacementEvaluation
+    candidate: PlacementEvaluation
+
+    @property
+    def energy_gain_wh(self) -> float:
+        """Absolute yearly energy gain of the candidate over the baseline."""
+        return self.candidate.annual_energy_wh - self.baseline.annual_energy_wh
+
+    @property
+    def improvement_percent(self) -> float:
+        """Relative improvement in percent (the paper's Table I last column)."""
+        if self.baseline.annual_energy_wh <= 0:
+            return 0.0
+        return 100.0 * self.energy_gain_wh / self.baseline.annual_energy_wh
+
+    def summary(self) -> dict:
+        """Flat dictionary for reports."""
+        return {
+            "baseline_mwh": self.baseline.annual_energy_mwh,
+            "candidate_mwh": self.candidate.annual_energy_mwh,
+            "improvement_percent": self.improvement_percent,
+        }
+
+
+def compare_placements(
+    problem: FloorplanProblem,
+    baseline: Placement,
+    candidate: Placement,
+    include_wiring_loss: bool = True,
+    module_aggregation: str = "substring-min",
+) -> PlacementComparison:
+    """Evaluate two placements under identical conditions and compare them."""
+    return PlacementComparison(
+        baseline=evaluate_placement(
+            problem, baseline, include_wiring_loss, module_aggregation=module_aggregation
+        ),
+        candidate=evaluate_placement(
+            problem, candidate, include_wiring_loss, module_aggregation=module_aggregation
+        ),
+    )

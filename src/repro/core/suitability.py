@@ -1,0 +1,178 @@
+"""Suitability metric (paper Section III-C).
+
+The greedy floorplanner ranks candidate grid elements by a *suitability*
+value that distils the per-cell temporal irradiance/temperature traces into
+one number.  The paper argues that the mean is a poor signature because the
+distributions are strongly skewed towards small values, and uses instead the
+75th percentile of the irradiance, corrected by a temperature factor that
+tracks dPmax/dT:
+
+    s_ij = p75(G_ij) * f(T_ij)
+
+Because the ambient temperature is spatially uniform while the *module*
+temperature ``Tact = T + k*G`` is not, the correction factor is evaluated on
+the percentile of the cell's module temperature, which is how the metric
+distinguishes otherwise equally irradiated cells.
+
+The module also provides the alternative signatures (plain mean, percentile
+without temperature correction) used by the ablation benchmark E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import DEFAULT_SUITABILITY_PERCENTILE, STC_TEMPERATURE
+from ..errors import PlacementError
+from ..pv.module import EmpiricalModuleModel, paper_module_model
+from ..solar.irradiance_map import RoofSolarField
+
+
+@dataclass(frozen=True)
+class SuitabilityConfig:
+    """Options of the suitability computation."""
+
+    percentile: float = DEFAULT_SUITABILITY_PERCENTILE
+    use_temperature_correction: bool = True
+    statistic: str = "percentile"  # "percentile" or "mean"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile < 100.0:
+            raise PlacementError("percentile must be in (0, 100)")
+        if self.statistic not in ("percentile", "mean"):
+            raise PlacementError(f"unknown suitability statistic: {self.statistic!r}")
+
+
+@dataclass(frozen=True)
+class SuitabilityMap:
+    """Per-cell suitability values over the roof grid.
+
+    Attributes
+    ----------
+    values:
+        Full-grid array ``(n_rows, n_cols)``; NaN marks invalid cells.
+    irradiance_statistic:
+        The raw irradiance statistic (before temperature correction).
+    temperature_factor:
+        The per-cell correction factor f(T) actually applied.
+    config:
+        The configuration that produced the map.
+    """
+
+    values: np.ndarray
+    irradiance_statistic: np.ndarray
+    temperature_factor: np.ndarray
+    config: SuitabilityConfig
+
+    def value_at(self, row: int, col: int) -> float:
+        """Suitability of one grid element (NaN for invalid elements)."""
+        return float(self.values[row, col])
+
+    def ranked_cells(self) -> np.ndarray:
+        """Valid cells sorted by non-increasing suitability, shape ``(Ng, 2)``."""
+        valid = ~np.isnan(self.values)
+        rows, cols = np.nonzero(valid)
+        order = np.argsort(-self.values[rows, cols], kind="stable")
+        return np.stack([rows[order], cols[order]], axis=1)
+
+    def normalised(self) -> np.ndarray:
+        """Suitability rescaled to [0, 1] over the valid cells (NaN elsewhere)."""
+        valid = ~np.isnan(self.values)
+        values = self.values.copy()
+        finite = values[valid]
+        if finite.size == 0:
+            return values
+        lo, hi = float(finite.min()), float(finite.max())
+        if hi - lo < 1e-12:
+            values[valid] = 1.0
+            return values
+        values[valid] = (finite - lo) / (hi - lo)
+        return values
+
+
+def compute_suitability(
+    solar: RoofSolarField,
+    config: SuitabilityConfig | None = None,
+    module_model: EmpiricalModuleModel | None = None,
+) -> SuitabilityMap:
+    """Compute the suitability map of a roof solar field.
+
+    Parameters
+    ----------
+    solar:
+        Per-cell irradiance and ambient temperature series.
+    config:
+        Metric options (percentile value, temperature correction, statistic).
+    module_model:
+        Module model providing the dPmax/dT slope for the temperature
+        correction factor (the paper module by default).
+    """
+    cfg = config if config is not None else SuitabilityConfig()
+    model = module_model if module_model is not None else paper_module_model()
+
+    irradiance = solar.irradiance.astype(float)  # (n_time, Ng)
+
+    if cfg.statistic == "percentile":
+        g_stat = np.percentile(irradiance, cfg.percentile, axis=0)
+    else:
+        g_stat = np.mean(irradiance, axis=0)
+
+    if cfg.use_temperature_correction:
+        # Per-cell module temperature percentile; the f(T) factor follows the
+        # dPmax/dT slope of the module model (Figure 3, middle plot).
+        cell_temperature = model.cell_temperature(
+            irradiance, solar.temperature[:, None]
+        )
+        if cfg.statistic == "percentile":
+            t_stat = np.percentile(cell_temperature, cfg.percentile, axis=0)
+        else:
+            t_stat = np.mean(cell_temperature, axis=0)
+        factor = 1.0 + model.datasheet.gamma_p_per_k * (t_stat - STC_TEMPERATURE)
+        factor = np.maximum(factor, 0.0)
+    else:
+        factor = np.ones_like(g_stat)
+
+    suitability_values = g_stat * factor
+
+    full = np.full(solar.grid.shape, np.nan)
+    stat_full = np.full(solar.grid.shape, np.nan)
+    factor_full = np.full(solar.grid.shape, np.nan)
+    full[solar.cells[:, 0], solar.cells[:, 1]] = suitability_values
+    stat_full[solar.cells[:, 0], solar.cells[:, 1]] = g_stat
+    factor_full[solar.cells[:, 0], solar.cells[:, 1]] = factor
+
+    return SuitabilityMap(
+        values=full,
+        irradiance_statistic=stat_full,
+        temperature_factor=factor_full,
+        config=cfg,
+    )
+
+
+def footprint_suitability(
+    suitability: SuitabilityMap,
+    anchor_row: int,
+    anchor_col: int,
+    cells_h: int,
+    cells_w: int,
+    aggregate: str = "mean",
+) -> float:
+    """Aggregate suitability of a module footprint anchored at (row, col).
+
+    Returns NaN when any covered cell is invalid (NaN), so callers can use
+    the result both as a score and as a feasibility indicator.
+    """
+    window = suitability.values[
+        anchor_row : anchor_row + cells_h, anchor_col : anchor_col + cells_w
+    ]
+    if window.shape != (cells_h, cells_w) or np.any(np.isnan(window)):
+        return float("nan")
+    if aggregate == "mean":
+        return float(np.mean(window))
+    if aggregate == "min":
+        return float(np.min(window))
+    if aggregate == "anchor":
+        return float(window[0, 0])
+    raise PlacementError(f"unknown footprint aggregate: {aggregate!r}")

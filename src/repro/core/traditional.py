@@ -1,0 +1,285 @@
+"""Traditional (compact) placement baseline.
+
+The paper compares its sparse floorplans against the conventional practice:
+the N modules are packed tightly together, and the whole block is put on the
+most irradiated part of the roof ("notice that these placements are
+determined using accurate spatio-temporal irradiance information that are
+not normally available to installators.  Therefore, we are comparing our
+solution to a particularly good reference").
+
+The baseline implemented here follows that description:
+
+1. the N modules are arranged as a compact block of ``n_parallel`` rows
+   (one per string) of ``n_series`` modules each;
+2. the block is anchored at the feasible position maximising the total
+   suitability of the covered cells (i.e. the most irradiated area);
+3. when obstacles prevent the full block from fitting anywhere, the block
+   degrades gracefully: first string-rows are placed as contiguous units
+   packed as close to each other as possible, and as a last resort modules
+   are packed one by one around the best seed position.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InfeasiblePlacementError
+from ..geometry import Point2D
+from .constraints import anchor_center, feasible_anchor_mask, mark_occupied
+from .placement import ModuleFootprint, ModulePlacement, Placement
+from .problem import FloorplanProblem
+from .suitability import SuitabilityConfig, SuitabilityMap, compute_suitability
+
+
+@dataclass(frozen=True)
+class TraditionalConfig:
+    """Tunables of the compact baseline."""
+
+    modules_per_row: int | None = None
+    gap_cells: int = 0
+
+    def __post_init__(self) -> None:
+        if self.modules_per_row is not None and self.modules_per_row < 1:
+            raise InfeasiblePlacementError("modules_per_row must be positive")
+        if self.gap_cells < 0:
+            raise InfeasiblePlacementError("gap_cells must be non-negative")
+
+
+@dataclass(frozen=True)
+class TraditionalResult:
+    """Outcome of the compact-baseline placement."""
+
+    placement: Placement
+    suitability: SuitabilityMap
+    runtime_s: float
+    strategy: str
+
+
+def _window_score(values: np.ndarray, cells_h: int, cells_w: int) -> np.ndarray:
+    """Sliding-window sum of suitability (NaN cells poison the window)."""
+    n_rows, n_cols = values.shape
+    scores = np.full((n_rows, n_cols), -np.inf)
+    if cells_h > n_rows or cells_w > n_cols:
+        return scores
+    finite = np.nan_to_num(values, nan=0.0)
+    invalid = np.isnan(values).astype(float)
+
+    def window_sum(array: np.ndarray) -> np.ndarray:
+        integral = np.zeros((n_rows + 1, n_cols + 1), dtype=float)
+        integral[1:, 1:] = np.cumsum(np.cumsum(array, axis=0), axis=1)
+        return (
+            integral[cells_h:, cells_w:]
+            - integral[:-cells_h, cells_w:]
+            - integral[cells_h:, :-cells_w]
+            + integral[:-cells_h, :-cells_w]
+        )
+
+    sums = window_sum(finite)
+    bad = window_sum(invalid) > 0.5
+    scores[: n_rows - cells_h + 1, : n_cols - cells_w + 1] = np.where(bad, -np.inf, sums)
+    return scores
+
+
+def traditional_floorplan(
+    problem: FloorplanProblem,
+    suitability: SuitabilityMap | None = None,
+    config: TraditionalConfig | None = None,
+) -> TraditionalResult:
+    """Place the modules as a compact block on the most irradiated area."""
+    cfg = config if config is not None else TraditionalConfig()
+    start = time.perf_counter()
+
+    if suitability is None:
+        suitability = compute_suitability(
+            problem.solar,
+            SuitabilityConfig(percentile=problem.suitability_percentile),
+            problem.module_model,
+        )
+
+    footprint = problem.footprint
+    modules_per_row = (
+        cfg.modules_per_row if cfg.modules_per_row is not None else problem.topology.n_series
+    )
+    modules_per_row = min(modules_per_row, problem.n_modules)
+    n_rows_of_modules = int(np.ceil(problem.n_modules / modules_per_row))
+
+    placement_modules = _try_full_block(
+        problem, suitability, footprint, modules_per_row, n_rows_of_modules, cfg.gap_cells
+    )
+    strategy = "full-block"
+    if placement_modules is None:
+        placement_modules = _try_string_rows(
+            problem, suitability, footprint, modules_per_row, cfg.gap_cells
+        )
+        strategy = "string-rows"
+    if placement_modules is None:
+        placement_modules = _pack_modules_individually(problem, suitability, footprint)
+        strategy = "packed-modules"
+    if placement_modules is None:
+        raise InfeasiblePlacementError(
+            "the compact baseline could not fit the requested modules on the roof"
+        )
+
+    runtime = time.perf_counter() - start
+    placement = Placement(
+        modules=tuple(placement_modules),
+        footprint=footprint,
+        topology=problem.topology,
+        grid_pitch=problem.grid.pitch,
+        label="traditional",
+        metadata={"algorithm": "traditional", "strategy": strategy, "runtime_s": runtime},
+    )
+    return TraditionalResult(
+        placement=placement, suitability=suitability, runtime_s=runtime, strategy=strategy
+    )
+
+
+def _block_module_offsets(
+    footprint: ModuleFootprint,
+    modules_per_row: int,
+    n_rows_of_modules: int,
+    n_modules: int,
+    gap_cells: int,
+) -> list[tuple[int, int]]:
+    """Anchor offsets (d_row, d_col) of each module inside the compact block."""
+    offsets = []
+    for index in range(n_modules):
+        block_row = index // modules_per_row
+        block_col = index % modules_per_row
+        offsets.append(
+            (
+                block_row * (footprint.cells_h + gap_cells),
+                block_col * (footprint.cells_w + gap_cells),
+            )
+        )
+    return offsets
+
+
+def _try_full_block(
+    problem: FloorplanProblem,
+    suitability: SuitabilityMap,
+    footprint: ModuleFootprint,
+    modules_per_row: int,
+    n_rows_of_modules: int,
+    gap_cells: int,
+):
+    """Attempt to place the whole compact block at its best-scoring anchor."""
+    block_h = n_rows_of_modules * footprint.cells_h + (n_rows_of_modules - 1) * gap_cells
+    block_w = modules_per_row * footprint.cells_w + (modules_per_row - 1) * gap_cells
+    block_footprint = ModuleFootprint(cells_w=block_w, cells_h=block_h)
+
+    feasible = feasible_anchor_mask(
+        problem.grid.valid_mask, np.zeros(problem.grid.shape, dtype=bool), block_footprint
+    )
+    if not np.any(feasible):
+        return None
+    scores = _window_score(suitability.values, block_h, block_w)
+    scores = np.where(feasible, scores, -np.inf)
+    if not np.any(np.isfinite(scores)):
+        return None
+    anchor_row, anchor_col = np.unravel_index(int(np.argmax(scores)), scores.shape)
+
+    offsets = _block_module_offsets(
+        footprint, modules_per_row, n_rows_of_modules, problem.n_modules, gap_cells
+    )
+    return [
+        ModulePlacement(
+            module_index=i, row=int(anchor_row + dr), col=int(anchor_col + dc), rotated=False
+        )
+        for i, (dr, dc) in enumerate(offsets)
+    ]
+
+
+def _try_string_rows(
+    problem: FloorplanProblem,
+    suitability: SuitabilityMap,
+    footprint: ModuleFootprint,
+    modules_per_row: int,
+    gap_cells: int,
+):
+    """Place each string as a contiguous row, packing rows as close as possible."""
+    row_h = footprint.cells_h
+    row_w = modules_per_row * footprint.cells_w + (modules_per_row - 1) * gap_cells
+    row_footprint = ModuleFootprint(cells_w=row_w, cells_h=row_h)
+
+    occupied = np.zeros(problem.grid.shape, dtype=bool)
+    modules: list[ModulePlacement] = []
+    placed_centers: list[Point2D] = []
+
+    n_full_rows = problem.n_modules // modules_per_row
+    remainder = problem.n_modules % modules_per_row
+    row_specs = [modules_per_row] * n_full_rows + ([remainder] if remainder else [])
+
+    module_index = 0
+    for row_number, row_modules in enumerate(row_specs):
+        this_row_w = row_modules * footprint.cells_w + (row_modules - 1) * gap_cells
+        this_footprint = ModuleFootprint(cells_w=this_row_w, cells_h=row_h)
+        feasible = feasible_anchor_mask(problem.grid.valid_mask, occupied, this_footprint)
+        if not np.any(feasible):
+            return None
+        scores = _window_score(suitability.values, row_h, this_row_w)
+        scores = np.where(feasible, scores, -np.inf)
+        rows, cols = np.nonzero(np.isfinite(scores))
+        if rows.size == 0:
+            return None
+        if not placed_centers:
+            pick = int(np.argmax(scores[rows, cols]))
+        else:
+            centroid = Point2D(
+                float(np.mean([p.x for p in placed_centers])),
+                float(np.mean([p.y for p in placed_centers])),
+            )
+            centers_u = (cols + this_row_w / 2.0) * problem.grid.pitch
+            centers_v = (rows + row_h / 2.0) * problem.grid.pitch
+            distances = np.hypot(centers_u - centroid.x, centers_v - centroid.y)
+            pick = int(np.argmin(distances))
+        anchor_row, anchor_col = int(rows[pick]), int(cols[pick])
+
+        for k in range(row_modules):
+            col = anchor_col + k * (footprint.cells_w + gap_cells)
+            modules.append(
+                ModulePlacement(module_index=module_index, row=anchor_row, col=col, rotated=False)
+            )
+            placed_centers.append(
+                anchor_center(anchor_row, col, footprint, problem.grid.pitch)
+            )
+            mark_occupied(occupied, anchor_row, col, footprint)
+            module_index += 1
+    return modules
+
+
+def _pack_modules_individually(
+    problem: FloorplanProblem, suitability: SuitabilityMap, footprint: ModuleFootprint
+):
+    """Last-resort compact packing: modules hug the best seed position."""
+    occupied = np.zeros(problem.grid.shape, dtype=bool)
+    modules: list[ModulePlacement] = []
+    placed_centers: list[Point2D] = []
+
+    seed_scores = _window_score(suitability.values, footprint.cells_h, footprint.cells_w)
+    feasible = feasible_anchor_mask(problem.grid.valid_mask, occupied, footprint)
+    seed_scores = np.where(feasible, seed_scores, -np.inf)
+    if not np.any(np.isfinite(seed_scores)):
+        return None
+    seed_row, seed_col = np.unravel_index(int(np.argmax(seed_scores)), seed_scores.shape)
+    seed_center = anchor_center(int(seed_row), int(seed_col), footprint, problem.grid.pitch)
+
+    for module_index in range(problem.n_modules):
+        feasible = feasible_anchor_mask(problem.grid.valid_mask, occupied, footprint)
+        rows, cols = np.nonzero(feasible)
+        if rows.size == 0:
+            return None
+        centers_u = (cols + footprint.cells_w / 2.0) * problem.grid.pitch
+        centers_v = (rows + footprint.cells_h / 2.0) * problem.grid.pitch
+        distances = np.hypot(centers_u - seed_center.x, centers_v - seed_center.y)
+        pick = int(np.argmin(distances))
+        row, col = int(rows[pick]), int(cols[pick])
+        modules.append(
+            ModulePlacement(module_index=module_index, row=row, col=col, rotated=False)
+        )
+        placed_centers.append(anchor_center(row, col, footprint, problem.grid.pitch))
+        mark_occupied(occupied, row, col, footprint)
+    return modules

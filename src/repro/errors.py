@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polygon, empty raster, ...)."""
+
+
+class GISError(ReproError):
+    """Problems in the GIS substrate (malformed DSM, bad resolution, ...)."""
+
+
+class SolarModelError(ReproError):
+    """Invalid input to a solar-radiation or solar-geometry model."""
+
+
+class WeatherError(ReproError):
+    """Invalid or inconsistent weather data."""
+
+
+class PVModelError(ReproError):
+    """Invalid input to a PV electrical or thermal model."""
+
+
+class TopologyError(PVModelError):
+    """Inconsistent series/parallel topology (m * n != N, empty string, ...)."""
+
+
+class PlacementError(ReproError):
+    """The floorplanner could not produce or evaluate a placement."""
+
+
+class InfeasiblePlacementError(PlacementError):
+    """The requested number of modules does not fit in the available area."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value passed to an experiment or generator."""
+
+
+class IOFormatError(ReproError):
+    """Malformed file passed to one of the :mod:`repro.io` readers."""

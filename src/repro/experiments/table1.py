@@ -1,0 +1,180 @@
+"""Experiment E7: reproduction of the paper's Table I.
+
+For each of the three case-study roofs and for N in {16, 32} modules
+(strings of 8 in series), the traditional compact placement and the proposed
+greedy placement are generated and evaluated over the simulated year; the
+report lists the yearly production of both and the relative improvement,
+exactly like Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.report import Table1Report, Table1Row
+from ..core import (
+    FloorplanProblem,
+    GreedyResult,
+    TraditionalResult,
+    compare_placements,
+    default_topology,
+    greedy_floorplan,
+    traditional_floorplan,
+)
+from ..core.evaluation import PlacementComparison
+from ..errors import ConfigurationError
+from ..pv.datasheet import PV_MF165EB3, ModuleDatasheet
+from .roofs import CaseStudy, CaseStudyConfig, prepare_all_case_studies
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Configuration of the Table I experiment."""
+
+    module_counts: tuple = (16, 32)
+    series_length: int = 8
+    datasheet: ModuleDatasheet = PV_MF165EB3
+    case_study: CaseStudyConfig = field(default_factory=CaseStudyConfig)
+    include_wiring_loss: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.module_counts:
+            raise ConfigurationError("at least one module count is required")
+        for count in self.module_counts:
+            if count < 1:
+                raise ConfigurationError("module counts must be positive")
+
+
+@dataclass
+class Table1Entry:
+    """Full results of one (roof, N) configuration."""
+
+    roof: str
+    n_modules: int
+    problem: FloorplanProblem
+    traditional: TraditionalResult
+    greedy: GreedyResult
+    comparison: PlacementComparison
+
+    @property
+    def improvement_percent(self) -> float:
+        """Energy improvement of the proposed placement over the baseline."""
+        return self.comparison.improvement_percent
+
+
+@dataclass
+class Table1Results:
+    """All configurations of the Table I experiment plus the rendered table."""
+
+    entries: List[Table1Entry]
+    report: Table1Report
+    case_studies: Dict[str, CaseStudy]
+
+    def entry(self, roof: str, n_modules: int) -> Table1Entry:
+        """Look up the entry of one (roof, N) configuration."""
+        for candidate in self.entries:
+            if candidate.roof == roof and candidate.n_modules == n_modules:
+                return candidate
+        raise ConfigurationError(f"no entry for roof={roof!r}, N={n_modules}")
+
+    def improvements(self) -> List[float]:
+        """Improvement percentages in row order."""
+        return [entry.improvement_percent for entry in self.entries]
+
+
+def build_problem(
+    study: CaseStudy,
+    n_modules: int,
+    series_length: int = 8,
+    datasheet: ModuleDatasheet = PV_MF165EB3,
+) -> FloorplanProblem:
+    """Assemble a floorplanning problem for one prepared case study."""
+    topology = default_topology(n_modules, series_length)
+    return FloorplanProblem(
+        grid=study.grid,
+        solar=study.solar,
+        n_modules=n_modules,
+        topology=topology,
+        datasheet=datasheet,
+        label=f"{study.name}-N{n_modules}",
+    )
+
+
+def run_configuration(
+    study: CaseStudy,
+    n_modules: int,
+    config: Table1Config,
+) -> Table1Entry:
+    """Run traditional + greedy placement on one (roof, N) configuration."""
+    problem = build_problem(study, n_modules, config.series_length, config.datasheet)
+    traditional = traditional_floorplan(problem)
+    greedy = greedy_floorplan(problem, suitability=traditional.suitability)
+    comparison = compare_placements(
+        problem,
+        traditional.placement,
+        greedy.placement,
+        include_wiring_loss=config.include_wiring_loss,
+    )
+    return Table1Entry(
+        roof=study.name,
+        n_modules=n_modules,
+        problem=problem,
+        traditional=traditional,
+        greedy=greedy,
+        comparison=comparison,
+    )
+
+
+def run_table1(
+    config: Table1Config | None = None,
+    case_studies: Optional[Dict[str, CaseStudy]] = None,
+    roofs: Optional[Iterable[str]] = None,
+) -> Table1Results:
+    """Run the full Table I experiment.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (module counts, resolution, module type).
+    case_studies:
+        Pre-built case studies (reused across benchmarks); generated on the
+        fly when omitted.
+    roofs:
+        Restrict the run to a subset of roof names.
+    """
+    cfg = config if config is not None else Table1Config()
+    studies = case_studies if case_studies is not None else prepare_all_case_studies(cfg.case_study)
+    selected = list(roofs) if roofs is not None else list(studies)
+
+    entries: List[Table1Entry] = []
+    report = Table1Report()
+    for roof_name in selected:
+        study = studies[roof_name]
+        for n_modules in cfg.module_counts:
+            entry = run_configuration(study, n_modules, cfg)
+            entries.append(entry)
+            report.add_row(
+                Table1Row(
+                    roof=roof_name,
+                    grid_w=study.grid.n_cols,
+                    grid_h=study.grid.n_rows,
+                    n_valid=study.grid.n_valid,
+                    n_modules=n_modules,
+                    traditional_mwh=entry.comparison.baseline.annual_energy_mwh,
+                    proposed_mwh=entry.comparison.candidate.annual_energy_mwh,
+                )
+            )
+    return Table1Results(entries=entries, report=report, case_studies=studies)
+
+
+#: The values printed in the paper's Table I, used by EXPERIMENTS.md and by
+#: the benchmarks to report paper-vs-measured side by side.
+PAPER_TABLE1 = (
+    {"roof": "roof1", "WxL": "287x51", "Ng": 9416, "N": 16, "traditional_mwh": 3.430, "proposed_mwh": 4.094, "improvement_percent": 19.37},
+    {"roof": "roof1", "WxL": "287x51", "Ng": 9416, "N": 32, "traditional_mwh": 6.729, "proposed_mwh": 7.499, "improvement_percent": 11.44},
+    {"roof": "roof2", "WxL": "298x51", "Ng": 11892, "N": 16, "traditional_mwh": 2.971, "proposed_mwh": 3.619, "improvement_percent": 21.85},
+    {"roof": "roof2", "WxL": "298x51", "Ng": 11892, "N": 32, "traditional_mwh": 5.941, "proposed_mwh": 7.404, "improvement_percent": 23.63},
+    {"roof": "roof3", "WxL": "298x52", "Ng": 11672, "N": 16, "traditional_mwh": 2.957, "proposed_mwh": 3.642, "improvement_percent": 23.16},
+    {"roof": "roof3", "WxL": "298x52", "Ng": 11672, "N": 32, "traditional_mwh": 5.746, "proposed_mwh": 7.405, "improvement_percent": 28.86},
+)

@@ -1,0 +1,57 @@
+"""GIS substrate: DSM handling, synthetic scenes, roof extraction, gridding."""
+
+from .dsm import DigitalSurfaceModel, ObstacleFootprint
+from .gridding import RoofGrid, make_roof_grid
+from .roof import FittedRoofPlane, fit_roof_plane, obstacle_mask_from_plane
+from .suitable_area import (
+    SuitableAreaConfig,
+    SuitableAreaResult,
+    apply_suitable_area,
+    compute_suitable_area,
+    suitable_grid_for_scene,
+)
+from .synthetic import (
+    AdjacentStructure,
+    RoofScene,
+    RoofSpec,
+    antenna,
+    build_roof_scene,
+    chimney,
+    dormer,
+    hvac_unit,
+    pipe_rack,
+    random_obstacle_set,
+    scattered_vents,
+    simple_residential_roof,
+    skylight_row,
+    vent,
+)
+
+__all__ = [
+    "DigitalSurfaceModel",
+    "ObstacleFootprint",
+    "RoofGrid",
+    "make_roof_grid",
+    "FittedRoofPlane",
+    "fit_roof_plane",
+    "obstacle_mask_from_plane",
+    "SuitableAreaConfig",
+    "SuitableAreaResult",
+    "apply_suitable_area",
+    "compute_suitable_area",
+    "suitable_grid_for_scene",
+    "AdjacentStructure",
+    "RoofScene",
+    "RoofSpec",
+    "antenna",
+    "build_roof_scene",
+    "chimney",
+    "dormer",
+    "hvac_unit",
+    "pipe_rack",
+    "random_obstacle_set",
+    "scattered_vents",
+    "simple_residential_roof",
+    "skylight_row",
+    "vent",
+]

@@ -1,0 +1,53 @@
+"""PV electrical substrate: cells, modules, arrays, MPPT, thermal, wiring."""
+
+from .array import PanelOperatingPoint, PVArray, SeriesParallelTopology
+from .cell import SingleDiodeCell, reference_cell_for_module
+from .datasheet import (
+    COMPACT_200W,
+    DATASHEETS,
+    GENERIC_300W,
+    PV_MF165EB3,
+    ModuleDatasheet,
+    get_datasheet,
+)
+from .module import EmpiricalModuleModel, OperatingPoint, paper_module_model
+from .mppt import MPPTModel, PerturbObserveResult, mppt_tracking_error, perturb_and_observe
+from .thermal import CellTemperatureModel, NOCTTemperatureModel, temperature_rise_at_stc
+from .wiring import (
+    WiringOverheadReport,
+    WiringSpec,
+    annual_energy_loss_wh,
+    resistive_power_loss,
+    string_extra_length,
+    wiring_overhead_report,
+)
+
+__all__ = [
+    "PanelOperatingPoint",
+    "PVArray",
+    "SeriesParallelTopology",
+    "SingleDiodeCell",
+    "reference_cell_for_module",
+    "COMPACT_200W",
+    "DATASHEETS",
+    "GENERIC_300W",
+    "PV_MF165EB3",
+    "ModuleDatasheet",
+    "get_datasheet",
+    "EmpiricalModuleModel",
+    "OperatingPoint",
+    "paper_module_model",
+    "MPPTModel",
+    "PerturbObserveResult",
+    "mppt_tracking_error",
+    "perturb_and_observe",
+    "CellTemperatureModel",
+    "NOCTTemperatureModel",
+    "temperature_rise_at_stc",
+    "WiringOverheadReport",
+    "WiringSpec",
+    "annual_energy_loss_wh",
+    "resistive_power_loss",
+    "string_extra_length",
+    "wiring_overhead_report",
+]

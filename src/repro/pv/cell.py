@@ -1,0 +1,187 @@
+"""Single-diode PV cell model.
+
+The paper's background section (II-B, Figure 2a) describes the cell as "an
+ideal current source, proportional to solar irradiance, and a diode
+connected in anti-parallel", whose I-V curve shifts with irradiance
+(Isc proportional to G, Voc logarithmic in G) and temperature (Isc slightly
+up, Voc down).  This module implements the standard five-parameter
+single-diode model so the repository can regenerate those characteristic
+curves and validate the empirical module model against a physics-based one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import KELVIN_OFFSET, STC_IRRADIANCE, STC_TEMPERATURE
+from ..errors import PVModelError
+
+#: Boltzmann constant [J/K].
+_BOLTZMANN = 1.380649e-23
+#: Elementary charge [C].
+_ELEMENTARY_CHARGE = 1.602176634e-19
+#: Silicon band-gap energy [eV].
+_BAND_GAP_EV = 1.12
+
+
+@dataclass(frozen=True)
+class SingleDiodeCell:
+    """Five-parameter single-diode cell model.
+
+    Attributes
+    ----------
+    photocurrent_ref:
+        Photo-generated current at STC [A] (approximately the cell Isc).
+    saturation_current_ref:
+        Diode reverse-saturation current at STC [A].
+    ideality_factor:
+        Diode ideality factor (1..2 for silicon).
+    series_resistance:
+        Lumped series resistance [ohm].
+    shunt_resistance:
+        Lumped shunt resistance [ohm].
+    alpha_isc_per_k:
+        Relative temperature coefficient of the photocurrent [1/K].
+    """
+
+    photocurrent_ref: float = 7.36
+    saturation_current_ref: float = 1e-9
+    ideality_factor: float = 1.3
+    series_resistance: float = 0.005
+    shunt_resistance: float = 15.0
+    alpha_isc_per_k: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.photocurrent_ref <= 0:
+            raise PVModelError("the reference photocurrent must be positive")
+        if self.saturation_current_ref <= 0:
+            raise PVModelError("the saturation current must be positive")
+        if not 1.0 <= self.ideality_factor <= 2.5:
+            raise PVModelError("the diode ideality factor must be in [1, 2.5]")
+        if self.series_resistance < 0 or self.shunt_resistance <= 0:
+            raise PVModelError("resistances must be non-negative (shunt strictly positive)")
+
+    # -- temperature- and irradiance-dependent parameters ---------------------------
+
+    def thermal_voltage(self, cell_temperature_c: float) -> float:
+        """Diode thermal voltage n*k*T/q [V]."""
+        t_kelvin = cell_temperature_c + KELVIN_OFFSET
+        return self.ideality_factor * _BOLTZMANN * t_kelvin / _ELEMENTARY_CHARGE
+
+    def photocurrent(self, irradiance: float, cell_temperature_c: float) -> float:
+        """Photo-generated current [A]: proportional to G, weakly increasing with T."""
+        if irradiance < 0:
+            raise PVModelError("irradiance must be non-negative")
+        temperature_factor = 1.0 + self.alpha_isc_per_k * (cell_temperature_c - STC_TEMPERATURE)
+        return self.photocurrent_ref * temperature_factor * irradiance / STC_IRRADIANCE
+
+    def saturation_current(self, cell_temperature_c: float) -> float:
+        """Diode saturation current [A] with the usual T^3 exp(-Eg/kT) scaling."""
+        t_ref = STC_TEMPERATURE + KELVIN_OFFSET
+        t = cell_temperature_c + KELVIN_OFFSET
+        exponent = (
+            _BAND_GAP_EV
+            * _ELEMENTARY_CHARGE
+            / (self.ideality_factor * _BOLTZMANN)
+            * (1.0 / t_ref - 1.0 / t)
+        )
+        return self.saturation_current_ref * (t / t_ref) ** 3 * np.exp(exponent)
+
+    # -- I-V characteristics ----------------------------------------------------------
+
+    def current_at_voltage(
+        self, voltage: np.ndarray, irradiance: float, cell_temperature_c: float = STC_TEMPERATURE
+    ) -> np.ndarray:
+        """Cell current [A] at the given terminal voltage(s).
+
+        Solves the implicit single-diode equation
+        ``I = Iph - I0*(exp((V + I*Rs)/Vt) - 1) - (V + I*Rs)/Rsh``
+        by fixed-point iteration (converges quickly for realistic Rs).
+        """
+        v = np.asarray(voltage, dtype=float)
+        iph = self.photocurrent(irradiance, cell_temperature_c)
+        i0 = self.saturation_current(cell_temperature_c)
+        vt = self.thermal_voltage(cell_temperature_c)
+
+        current = np.full_like(v, iph)
+        for _ in range(60):
+            v_diode = v + current * self.series_resistance
+            new_current = (
+                iph
+                - i0 * (np.exp(np.clip(v_diode / vt, -50.0, 80.0)) - 1.0)
+                - v_diode / self.shunt_resistance
+            )
+            if np.allclose(new_current, current, atol=1e-9):
+                current = new_current
+                break
+            current = 0.5 * current + 0.5 * new_current
+        return np.maximum(current, 0.0)
+
+    def short_circuit_current(
+        self, irradiance: float, cell_temperature_c: float = STC_TEMPERATURE
+    ) -> float:
+        """Short-circuit current Isc [A]."""
+        return float(self.current_at_voltage(np.asarray([0.0]), irradiance, cell_temperature_c)[0])
+
+    def open_circuit_voltage(
+        self, irradiance: float, cell_temperature_c: float = STC_TEMPERATURE
+    ) -> float:
+        """Open-circuit voltage Voc [V] (explicit diode-equation inversion)."""
+        if irradiance <= 0:
+            return 0.0
+        iph = self.photocurrent(irradiance, cell_temperature_c)
+        i0 = self.saturation_current(cell_temperature_c)
+        vt = self.thermal_voltage(cell_temperature_c)
+        return float(vt * np.log(iph / i0 + 1.0))
+
+    def iv_curve(
+        self,
+        irradiance: float,
+        cell_temperature_c: float = STC_TEMPERATURE,
+        n_points: int = 200,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sampled I-V curve ``(voltages, currents)`` from 0 to Voc."""
+        if n_points < 2:
+            raise PVModelError("n_points must be at least 2")
+        voc = self.open_circuit_voltage(irradiance, cell_temperature_c)
+        if voc <= 0:
+            voltages = np.linspace(0.0, 0.6, n_points)
+            return voltages, np.zeros_like(voltages)
+        voltages = np.linspace(0.0, voc, n_points)
+        currents = self.current_at_voltage(voltages, irradiance, cell_temperature_c)
+        return voltages, currents
+
+    def maximum_power_point(
+        self, irradiance: float, cell_temperature_c: float = STC_TEMPERATURE, n_points: int = 400
+    ) -> tuple[float, float, float]:
+        """Maximum power point ``(v_mpp, i_mpp, p_mpp)`` via dense sampling."""
+        voltages, currents = self.iv_curve(irradiance, cell_temperature_c, n_points)
+        powers = voltages * currents
+        index = int(np.argmax(powers))
+        return float(voltages[index]), float(currents[index]), float(powers[index])
+
+
+def reference_cell_for_module(
+    module_isc: float = 7.36, module_voc: float = 30.4, n_cells: int = 50
+) -> SingleDiodeCell:
+    """Build a cell whose series stack of ``n_cells`` approximates a module.
+
+    The saturation current is calibrated so that the cell Voc at STC equals
+    ``module_voc / n_cells``.
+    """
+    if n_cells < 1:
+        raise PVModelError("n_cells must be positive")
+    target_voc = module_voc / n_cells
+    cell = SingleDiodeCell(photocurrent_ref=module_isc)
+    vt = cell.thermal_voltage(STC_TEMPERATURE)
+    saturation = module_isc / (np.exp(target_voc / vt) - 1.0)
+    return SingleDiodeCell(
+        photocurrent_ref=module_isc,
+        saturation_current_ref=float(saturation),
+        ideality_factor=cell.ideality_factor,
+        series_resistance=cell.series_resistance,
+        shunt_resistance=cell.shunt_resistance,
+        alpha_isc_per_k=cell.alpha_isc_per_k,
+    )

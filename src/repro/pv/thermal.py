@@ -1,0 +1,79 @@
+"""Module thermal model.
+
+The paper corrects the ambient temperature with an irradiance-dependent term
+(Section III-B1, step 3): the actual module temperature is
+
+    Tact = T + k * G,    k = alpha / h_c
+
+where ``alpha`` is the absorptivity of the roof and ``h_c`` a combined
+convective and radiative heat-exchange coefficient (15 W/(K m^2), refs
+[12][13]).  The classical NOCT model is provided as an alternative for
+cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    DEFAULT_HEAT_EXCHANGE_COEFFICIENT,
+    DEFAULT_ROOF_ABSORPTIVITY,
+    STC_IRRADIANCE,
+)
+from ..errors import PVModelError
+
+
+@dataclass(frozen=True)
+class CellTemperatureModel:
+    """Irradiance-driven cell/module temperature model (paper formulation)."""
+
+    absorptivity: float = DEFAULT_ROOF_ABSORPTIVITY
+    heat_exchange_coefficient: float = DEFAULT_HEAT_EXCHANGE_COEFFICIENT
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.absorptivity <= 1.0:
+            raise PVModelError("absorptivity must be in (0, 1]")
+        if self.heat_exchange_coefficient <= 0:
+            raise PVModelError("heat exchange coefficient must be positive")
+
+    @property
+    def k(self) -> float:
+        """The ratio k = alpha / h_c [K m^2 / W]."""
+        return self.absorptivity / self.heat_exchange_coefficient
+
+    def cell_temperature(self, ambient_c: np.ndarray, irradiance: np.ndarray) -> np.ndarray:
+        """Actual module temperature Tact = T + k*G [degC]."""
+        ambient = np.asarray(ambient_c, dtype=float)
+        g = np.asarray(irradiance, dtype=float)
+        if np.any(g < 0):
+            raise PVModelError("irradiance must be non-negative")
+        return ambient + self.k * g
+
+
+@dataclass(frozen=True)
+class NOCTTemperatureModel:
+    """Nominal-operating-cell-temperature model (industry alternative).
+
+    ``Tcell = Tamb + (NOCT - 20) * G / 800``.
+    """
+
+    noct_c: float = 45.5
+
+    def __post_init__(self) -> None:
+        if not 20.0 < self.noct_c < 90.0:
+            raise PVModelError("NOCT must be within (20, 90) degC")
+
+    def cell_temperature(self, ambient_c: np.ndarray, irradiance: np.ndarray) -> np.ndarray:
+        """Cell temperature under the NOCT linear model [degC]."""
+        ambient = np.asarray(ambient_c, dtype=float)
+        g = np.asarray(irradiance, dtype=float)
+        if np.any(g < 0):
+            raise PVModelError("irradiance must be non-negative")
+        return ambient + (self.noct_c - 20.0) * g / 800.0
+
+
+def temperature_rise_at_stc(model: CellTemperatureModel) -> float:
+    """Module temperature rise above ambient at STC irradiance [K]."""
+    return model.k * STC_IRRADIANCE

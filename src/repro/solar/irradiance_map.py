@@ -1,0 +1,267 @@
+"""Per-cell spatio-temporal irradiance on the roof virtual grid.
+
+This is the integration point of the solar-data extraction flow (paper
+Section IV): it combines
+
+* the sun-position series (:mod:`repro.solar.position`),
+* the weather trace (measured or synthetic GHI + temperature),
+* the decomposition model (GHI -> DNI/DHI, :mod:`repro.solar.decomposition`),
+* the transposition model (POA irradiance, :mod:`repro.solar.transposition`),
+* the DSM shading engine (:mod:`repro.solar.shading`)
+
+into a :class:`RoofSolarField`: for every *valid* element of the roof's
+virtual grid, the global irradiance time series G(i,j,t) incident on the
+module plane, plus the ambient temperature series T(t).  These are exactly
+the inputs the floorplanning algorithm of Section III consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..constants import DEFAULT_ALBEDO
+from ..errors import SolarModelError
+from ..gis.gridding import RoofGrid
+from ..gis.synthetic import RoofScene
+from ..weather.records import WeatherSeries
+from .clearsky import clearsky_irradiance
+from .decomposition import decompose_ghi
+from .linke import LinkeTurbidityProfile
+from .position import compute_solar_position
+from .shading import HorizonMap, compute_horizon_map
+from .time_series import TimeGrid
+from .transposition import plane_of_array
+
+
+@dataclass(frozen=True)
+class SolarSimulationConfig:
+    """Options of the roof irradiance simulation."""
+
+    sky_model: str = "haydavies"
+    decomposition_model: str = "erbs"
+    albedo: float = DEFAULT_ALBEDO
+    linke_turbidity: LinkeTurbidityProfile = field(
+        default_factory=LinkeTurbidityProfile.turin_default
+    )
+    n_horizon_sectors: int = 36
+    horizon_max_distance_m: float = 60.0
+    store_dtype: str = "float32"
+
+
+@dataclass
+class RoofSolarField:
+    """Spatio-temporal irradiance and temperature over a roof grid.
+
+    Attributes
+    ----------
+    grid:
+        The roof virtual grid the field is defined on.
+    time_grid:
+        Temporal sampling.
+    cells:
+        Array ``(Ng, 2)`` of (row, col) indices of the valid grid elements,
+        in the same order as the columns of :attr:`irradiance`.
+    irradiance:
+        Array ``(n_time, Ng)``: plane-of-array global irradiance [W/m^2]
+        per time step and valid cell.
+    temperature:
+        Array ``(n_time,)``: ambient temperature [degC].
+    sky_view:
+        Array ``(Ng,)``: sky-view factor of each valid cell.
+    """
+
+    grid: RoofGrid
+    time_grid: TimeGrid
+    cells: np.ndarray
+    irradiance: np.ndarray
+    temperature: np.ndarray
+    sky_view: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_time = self.time_grid.n_samples
+        n_cells = self.cells.shape[0]
+        if self.irradiance.shape != (n_time, n_cells):
+            raise SolarModelError(
+                f"irradiance shape {self.irradiance.shape} does not match "
+                f"(n_time={n_time}, Ng={n_cells})"
+            )
+        if self.temperature.shape != (n_time,):
+            raise SolarModelError("temperature must have one value per time sample")
+        lookup = np.full(self.grid.shape, -1, dtype=int)
+        lookup[self.cells[:, 0], self.cells[:, 1]] = np.arange(n_cells)
+        self._cell_lookup = lookup
+
+    # -- sizes --------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of valid cells (the paper's Ng)."""
+        return int(self.cells.shape[0])
+
+    @property
+    def n_time(self) -> int:
+        """Number of time samples."""
+        return self.time_grid.n_samples
+
+    # -- accessors -----------------------------------------------------------------
+
+    def column_of(self, row: int, col: int) -> int:
+        """Column index (into :attr:`irradiance`) of grid element (row, col).
+
+        Raises
+        ------
+        SolarModelError
+            If the element is not part of the valid set.
+        """
+        index = int(self._cell_lookup[row, col])
+        if index < 0:
+            raise SolarModelError(f"grid element ({row}, {col}) is not a valid cell")
+        return index
+
+    def irradiance_for_cell(self, row: int, col: int) -> np.ndarray:
+        """Irradiance time series [W/m^2] of one grid element."""
+        return np.asarray(self.irradiance[:, self.column_of(row, col)], dtype=float)
+
+    def irradiance_for_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Irradiance time series of several grid elements, shape ``(n_time, k)``."""
+        cells_arr = np.asarray(cells, dtype=int).reshape(-1, 2)
+        columns = [self.column_of(int(r), int(c)) for r, c in cells_arr]
+        return np.asarray(self.irradiance[:, columns], dtype=float)
+
+    # -- aggregate maps ---------------------------------------------------------------
+
+    def percentile_map(self, q: float = 75.0) -> np.ndarray:
+        """Per-cell q-th percentile of irradiance, as a full-grid map.
+
+        Invalid cells are NaN.  This is the quantity Figure 6(b) of the
+        paper visualises (brighter colours = larger 75th percentile).
+        """
+        values = np.percentile(self.irradiance.astype(float), q, axis=0)
+        return self._scatter(values)
+
+    def mean_map(self) -> np.ndarray:
+        """Per-cell mean irradiance map [W/m^2] (NaN outside the valid area)."""
+        return self._scatter(np.mean(self.irradiance.astype(float), axis=0))
+
+    def annual_insolation_map_kwh(self) -> np.ndarray:
+        """Per-cell yearly insolation [kWh/m^2] (NaN outside the valid area)."""
+        totals = np.array(
+            [
+                self.time_grid.integrate_energy_wh(self.irradiance[:, k].astype(float))
+                for k in range(self.n_cells)
+            ]
+        )
+        return self._scatter(totals / 1e3)
+
+    def _scatter(self, values: np.ndarray) -> np.ndarray:
+        grid_map = np.full(self.grid.shape, np.nan)
+        grid_map[self.cells[:, 0], self.cells[:, 1]] = values
+        return grid_map
+
+
+def compute_roof_solar_field(
+    scene: RoofScene,
+    grid: RoofGrid,
+    weather: WeatherSeries,
+    config: SolarSimulationConfig | None = None,
+    horizon_map: Optional[HorizonMap] = None,
+) -> RoofSolarField:
+    """Run the full solar-data extraction flow for a roof.
+
+    Parameters
+    ----------
+    scene:
+        Roof scene providing the DSM (shading) and the roof frame.
+    grid:
+        Virtual grid restricted to the suitable area.
+    weather:
+        Weather trace (synthetic or measured).  If it does not carry DNI/DHI
+        the configured decomposition model is applied.
+    config:
+        Simulation options.
+    horizon_map:
+        Pre-computed horizon map of the scene DSM; computed on the fly when
+        omitted (the dominant cost for large scenes, so callers running
+        several experiments on the same roof should pass it in).
+    """
+    cfg = config if config is not None else SolarSimulationConfig()
+    time_grid = weather.time_grid
+
+    position = compute_solar_position(
+        weather.station.latitude_deg, time_grid.days_of_year, time_grid.hours
+    )
+
+    # 1. Direct/diffuse components.
+    if weather.has_decomposition:
+        dni = np.asarray(weather.dni, dtype=float)
+        dhi = np.asarray(weather.dhi, dtype=float)
+    else:
+        clearsky_ghi = None
+        if cfg.decomposition_model == "engerer":
+            turbidity = cfg.linke_turbidity.value_for_day(time_grid.days_of_year)
+            clearsky_ghi = clearsky_irradiance(
+                position.extraterrestrial_normal,
+                position.elevation_deg,
+                turbidity,
+                altitude_m=weather.station.altitude_m,
+            ).global_horizontal
+        decomposition = decompose_ghi(
+            weather.ghi,
+            position.extraterrestrial_normal,
+            position.elevation_deg,
+            model=cfg.decomposition_model,
+            clearsky_ghi=clearsky_ghi,
+        )
+        dni = decomposition.dni
+        dhi = decomposition.dhi
+
+    # 2. Plane-of-array components on the roof plane (identical for all cells).
+    poa = plane_of_array(
+        dni,
+        dhi,
+        weather.ghi,
+        position.extraterrestrial_normal,
+        scene.spec.tilt_deg,
+        scene.spec.azimuth_deg,
+        position.elevation_deg,
+        position.azimuth_deg,
+        albedo=cfg.albedo,
+        sky_model=cfg.sky_model,
+    )
+
+    # 3. Shading: per-cell beam visibility and sky-view factor from the DSM.
+    if horizon_map is None:
+        horizon_map = compute_horizon_map(
+            scene.dsm.raster,
+            n_sectors=cfg.n_horizon_sectors,
+            max_distance=cfg.horizon_max_distance_m,
+        )
+    dsm_rows, dsm_cols = grid.dsm_indices(scene.dsm)
+    cells = grid.valid_cells()
+    cell_dsm_rows = dsm_rows[cells[:, 0], cells[:, 1]]
+    cell_dsm_cols = dsm_cols[cells[:, 0], cells[:, 1]]
+
+    lit = horizon_map.lit_fraction_for_cells(
+        cell_dsm_rows, cell_dsm_cols, position.elevation_deg, position.azimuth_deg
+    )
+    sky_view = horizon_map.sky_view_factor()[cell_dsm_rows, cell_dsm_cols]
+
+    # 4. Per-cell irradiance assembly.
+    dtype = np.dtype(cfg.store_dtype)
+    irradiance = (
+        poa.beam[:, None] * lit
+        + poa.sky_diffuse[:, None] * sky_view[None, :]
+        + poa.ground_reflected[:, None]
+    ).astype(dtype)
+
+    return RoofSolarField(
+        grid=grid,
+        time_grid=time_grid,
+        cells=cells,
+        irradiance=irradiance,
+        temperature=np.asarray(weather.temperature, dtype=float),
+        sky_view=np.asarray(sky_view, dtype=float),
+    )

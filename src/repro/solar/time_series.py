@@ -1,0 +1,128 @@
+"""Simulation time base.
+
+The paper simulates one year at 15-minute resolution (Section IV).  The
+:class:`TimeGrid` class represents such a sampling of the year without
+depending on calendar/timezone machinery: every sample is identified by its
+day of year (1..365) and its local solar hour (0..24).  A ``day_stride``
+option allows the benchmarks to subsample the year (e.g. every 7th day)
+while keeping energy totals comparable through :attr:`TimeGrid.annual_scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..constants import DAYS_PER_YEAR, DEFAULT_TIME_STEP_MINUTES
+from ..errors import SolarModelError
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """A regular sampling of one reference year.
+
+    Parameters
+    ----------
+    step_minutes:
+        Interval between consecutive samples within a simulated day.
+    day_stride:
+        Simulate every ``day_stride``-th day of the year (1 = every day).
+        Energy accumulated on the simulated days is multiplied by
+        ``day_stride`` (see :attr:`annual_scale`) so that yearly totals stay
+        an unbiased estimate of the full-resolution simulation.
+    """
+
+    step_minutes: float = DEFAULT_TIME_STEP_MINUTES
+    day_stride: int = 1
+    days_of_year: np.ndarray = field(init=False, repr=False, compare=False)
+    hours: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.step_minutes <= 0 or self.step_minutes > 24 * 60:
+            raise SolarModelError("step_minutes must be in (0, 1440]")
+        if self.day_stride < 1 or self.day_stride > DAYS_PER_YEAR:
+            raise SolarModelError("day_stride must be in [1, 365]")
+        steps_per_day = int(round(24 * 60 / self.step_minutes))
+        if abs(steps_per_day * self.step_minutes - 24 * 60) > 1e-9:
+            raise SolarModelError("step_minutes must divide 24 hours exactly")
+        days = np.arange(1, DAYS_PER_YEAR + 1, self.day_stride, dtype=float)
+        hours_in_day = (np.arange(steps_per_day, dtype=float) + 0.5) * self.step_minutes / 60.0
+        day_grid = np.repeat(days, steps_per_day)
+        hour_grid = np.tile(hours_in_day, len(days))
+        object.__setattr__(self, "days_of_year", day_grid)
+        object.__setattr__(self, "hours", hour_grid)
+
+    # -- size and scaling ----------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of time samples."""
+        return int(self.days_of_year.shape[0])
+
+    @property
+    def step_hours(self) -> float:
+        """Sample interval expressed in hours."""
+        return self.step_minutes / 60.0
+
+    @property
+    def steps_per_day(self) -> int:
+        """Number of samples per simulated day."""
+        return int(round(24 * 60 / self.step_minutes))
+
+    @property
+    def n_days(self) -> int:
+        """Number of simulated days."""
+        return self.n_samples // self.steps_per_day
+
+    @property
+    def annual_scale(self) -> float:
+        """Factor converting simulated-day totals into full-year totals.
+
+        It accounts for the day subsampling only; the intra-day integration
+        already uses :attr:`step_hours` as quadrature weight.
+        """
+        return DAYS_PER_YEAR / float(self.n_days)
+
+    # -- iteration helpers -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        for day, hour in zip(self.days_of_year, self.hours):
+            yield float(day), float(hour)
+
+    def sample(self, index: int) -> Tuple[float, float]:
+        """Return ``(day_of_year, hour)`` of the sample at ``index``."""
+        if not 0 <= index < self.n_samples:
+            raise SolarModelError(f"sample index {index} out of range")
+        return float(self.days_of_year[index]), float(self.hours[index])
+
+    def day_fraction(self) -> np.ndarray:
+        """Fraction of the year elapsed at each sample (0..1)."""
+        return (self.days_of_year - 1 + self.hours / 24.0) / DAYS_PER_YEAR
+
+    def integrate_energy_wh(self, power_w: np.ndarray) -> float:
+        """Integrate a power time series [W] over the year, returning Wh.
+
+        Applies the step width and the annual day-stride scaling, so the
+        result estimates the full-year energy even on a subsampled grid.
+        """
+        series = np.asarray(power_w, dtype=float)
+        if series.shape[0] != self.n_samples:
+            raise SolarModelError(
+                f"power series has {series.shape[0]} samples, expected {self.n_samples}"
+            )
+        return float(np.sum(series) * self.step_hours * self.annual_scale)
+
+
+def paper_time_grid() -> TimeGrid:
+    """The paper's time base: one full year at 15-minute resolution."""
+    return TimeGrid(step_minutes=15.0, day_stride=1)
+
+
+def fast_time_grid(step_minutes: float = 60.0, day_stride: int = 7) -> TimeGrid:
+    """A subsampled time base used by tests and CI-friendly benchmarks."""
+    return TimeGrid(step_minutes=step_minutes, day_stride=day_stride)

@@ -1,0 +1,24 @@
+"""Weather substrate: station records and synthetic meteorological data."""
+
+from .clearness import ClearnessModel, generate_clearsky_index
+from .records import StationMetadata, WeatherSeries
+from .synthetic import (
+    SyntheticWeatherConfig,
+    generate_clearsky_weather,
+    generate_weather,
+    scale_weather,
+)
+from .temperature import TemperatureModel, generate_temperature
+
+__all__ = [
+    "ClearnessModel",
+    "generate_clearsky_index",
+    "StationMetadata",
+    "WeatherSeries",
+    "SyntheticWeatherConfig",
+    "generate_weather",
+    "generate_clearsky_weather",
+    "scale_weather",
+    "TemperatureModel",
+    "generate_temperature",
+]

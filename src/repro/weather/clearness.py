@@ -1,0 +1,147 @@
+"""Stochastic clearness-index generation.
+
+Real weather stations provide measured global horizontal irradiance whose
+ratio to the clear-sky value (the *clear-sky index*) fluctuates with cloud
+cover.  Since the paper's Weather Underground traces are not available, this
+module synthesises a realistic clear-sky-index process:
+
+* a seasonal mean (winters cloudier than summers at a Po-valley site),
+* day-to-day persistence modelled with a first-order autoregressive chain
+  over daily "weather states" (clear / partly cloudy / overcast),
+* intra-day variability with bounded high-frequency noise, stronger on
+  partly-cloudy days (broken-cloud regime) than on clear or overcast days.
+
+The resulting distribution of per-cell irradiance values is strongly skewed
+towards low values -- exactly the property that motivates the paper's use of
+the 75th percentile instead of the mean as a suitability signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WeatherError
+from ..solar.time_series import TimeGrid
+
+#: Daily weather states and their clear-sky-index characteristics.
+_STATES = ("clear", "partly", "overcast")
+
+
+@dataclass(frozen=True)
+class ClearnessModel:
+    """Parameters of the synthetic clear-sky-index process.
+
+    Attributes
+    ----------
+    clear_mean, partly_mean, overcast_mean:
+        Mean clear-sky index of each daily weather state.
+    clear_prob_summer, clear_prob_winter:
+        Probability that a day is "clear" in mid-summer / mid-winter; the
+        probability of "overcast" mirrors it and "partly" takes the rest.
+    persistence:
+        Probability of staying in the same state as the previous day.
+    intra_day_sigma:
+        Standard deviation of the high-frequency multiplicative noise on
+        partly-cloudy days (clear/overcast days use a quarter of it).
+    """
+
+    clear_mean: float = 0.95
+    partly_mean: float = 0.62
+    overcast_mean: float = 0.25
+    clear_prob_summer: float = 0.55
+    clear_prob_winter: float = 0.30
+    persistence: float = 0.45
+    intra_day_sigma: float = 0.22
+
+    def __post_init__(self) -> None:
+        for name in ("clear_mean", "partly_mean", "overcast_mean"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.1:
+                raise WeatherError(f"{name} must be in (0, 1.1], got {value}")
+        if not 0.0 <= self.persistence < 1.0:
+            raise WeatherError("persistence must be in [0, 1)")
+
+    # -- daily state chain ------------------------------------------------------
+
+    def _clear_probability(self, day_of_year: np.ndarray) -> np.ndarray:
+        """Seasonally varying probability of a clear day (peak near solstice)."""
+        phase = np.cos(2.0 * np.pi * (np.asarray(day_of_year, dtype=float) - 172.0) / 365.0)
+        mid = 0.5 * (self.clear_prob_summer + self.clear_prob_winter)
+        amplitude = 0.5 * (self.clear_prob_summer - self.clear_prob_winter)
+        return mid + amplitude * phase
+
+    def sample_daily_states(self, days_of_year: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample one weather state per day with first-order persistence."""
+        days = np.asarray(days_of_year, dtype=float)
+        states = np.empty(days.shape[0], dtype=int)
+        previous = -1
+        for i, day in enumerate(days):
+            if previous >= 0 and rng.random() < self.persistence:
+                states[i] = previous
+                continue
+            p_clear = float(self._clear_probability(np.asarray([day]))[0])
+            p_overcast = float(np.clip(0.85 - p_clear, 0.05, 0.9))
+            p_partly = max(0.0, 1.0 - p_clear - p_overcast)
+            states[i] = rng.choice(3, p=_normalised([p_clear, p_partly, p_overcast]))
+            previous = states[i]
+        return states
+
+    def state_mean(self, states: np.ndarray) -> np.ndarray:
+        """Mean clear-sky index of each daily state."""
+        means = np.array([self.clear_mean, self.partly_mean, self.overcast_mean])
+        return means[np.asarray(states, dtype=int)]
+
+    def state_sigma(self, states: np.ndarray) -> np.ndarray:
+        """Intra-day noise amplitude of each daily state."""
+        sigmas = np.array(
+            [self.intra_day_sigma * 0.25, self.intra_day_sigma, self.intra_day_sigma * 0.25]
+        )
+        return sigmas[np.asarray(states, dtype=int)]
+
+
+def _normalised(probabilities: list[float]) -> np.ndarray:
+    array = np.asarray(probabilities, dtype=float)
+    total = array.sum()
+    if total <= 0:
+        raise WeatherError("state probabilities must sum to a positive value")
+    return array / total
+
+
+def generate_clearsky_index(
+    time_grid: TimeGrid,
+    model: ClearnessModel | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate a clear-sky-index series aligned with ``time_grid``.
+
+    The returned array multiplies the clear-sky GHI to obtain the synthetic
+    "measured" GHI.  Values are clipped to [0.02, 1.1]; occasional values
+    slightly above 1 mimic cloud-enhancement events.
+    """
+    clearness_model = model if model is not None else ClearnessModel()
+    rng = np.random.default_rng(seed)
+
+    steps_per_day = time_grid.steps_per_day
+    n_days = time_grid.n_days
+    day_numbers = time_grid.days_of_year[::steps_per_day]
+    states = clearness_model.sample_daily_states(day_numbers, rng)
+
+    daily_mean = clearness_model.state_mean(states)
+    daily_sigma = clearness_model.state_sigma(states)
+
+    # Smooth intra-day noise: a small number of random Fourier components
+    # per day gives cloud passages with realistic temporal correlation.
+    hours = time_grid.hours[:steps_per_day]
+    index = np.empty(time_grid.n_samples, dtype=float)
+    for d in range(n_days):
+        noise = np.zeros(steps_per_day)
+        for _ in range(3):
+            frequency = rng.uniform(1.0, 6.0)
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            noise += rng.normal(0.0, 1.0) * np.sin(2.0 * np.pi * frequency * hours / 24.0 + phase)
+        noise *= daily_sigma[d] / np.sqrt(3.0)
+        day_slice = slice(d * steps_per_day, (d + 1) * steps_per_day)
+        index[day_slice] = daily_mean[d] + noise
+    return np.clip(index, 0.02, 1.1)

@@ -1,0 +1,108 @@
+"""Weather data containers.
+
+A :class:`WeatherSeries` holds the per-time-step meteorological quantities
+the solar-data extraction flow consumes: global horizontal irradiance and
+ambient air temperature, optionally accompanied by the already decomposed
+direct/diffuse components when the (synthetic or real) station provides
+them.  The series is always aligned with a :class:`repro.solar.TimeGrid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WeatherError
+from ..solar.time_series import TimeGrid
+
+
+@dataclass(frozen=True)
+class StationMetadata:
+    """Description of the (possibly virtual) weather station."""
+
+    name: str
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise WeatherError("station latitude must be within [-90, 90]")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise WeatherError("station longitude must be within [-180, 180]")
+
+
+@dataclass(frozen=True)
+class WeatherSeries:
+    """Meteorological time series aligned with a :class:`TimeGrid`.
+
+    Attributes
+    ----------
+    time_grid:
+        The sampling this series is defined on.
+    ghi:
+        Global horizontal irradiance [W/m^2].
+    temperature:
+        Ambient air temperature [degC].
+    dni, dhi:
+        Optional direct-normal / diffuse-horizontal irradiance [W/m^2]; when
+        absent they are derived with a decomposition model downstream.
+    station:
+        Metadata of the originating station.
+    """
+
+    time_grid: TimeGrid
+    ghi: np.ndarray
+    temperature: np.ndarray
+    station: StationMetadata
+    dni: Optional[np.ndarray] = None
+    dhi: Optional[np.ndarray] = None
+    clearness: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.time_grid.n_samples
+        for name in ("ghi", "temperature"):
+            array = getattr(self, name)
+            if np.asarray(array).shape != (n,):
+                raise WeatherError(
+                    f"{name} must have shape ({n},) to match the time grid, "
+                    f"got {np.asarray(array).shape}"
+                )
+        for name in ("dni", "dhi", "clearness"):
+            array = getattr(self, name)
+            if array is not None and np.asarray(array).shape != (n,):
+                raise WeatherError(f"{name} must have shape ({n},) to match the time grid")
+        if np.any(np.asarray(self.ghi) < 0):
+            raise WeatherError("GHI must be non-negative")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples in the series."""
+        return self.time_grid.n_samples
+
+    @property
+    def has_decomposition(self) -> bool:
+        """True when DNI/DHI are provided by the station itself."""
+        return self.dni is not None and self.dhi is not None
+
+    def annual_ghi_kwh_per_m2(self) -> float:
+        """Yearly global horizontal irradiation [kWh/m^2]."""
+        return self.time_grid.integrate_energy_wh(self.ghi) / 1e3
+
+    def mean_temperature(self) -> float:
+        """Mean ambient temperature over the series [degC]."""
+        return float(np.mean(self.temperature))
+
+    def summary(self) -> dict:
+        """Aggregate statistics used by reports and tests."""
+        return {
+            "station": self.station.name,
+            "n_samples": self.n_samples,
+            "annual_ghi_kwh_m2": self.annual_ghi_kwh_per_m2(),
+            "max_ghi_w_m2": float(np.max(self.ghi)),
+            "mean_temperature_c": self.mean_temperature(),
+            "min_temperature_c": float(np.min(self.temperature)),
+            "max_temperature_c": float(np.max(self.temperature)),
+        }

@@ -1,0 +1,96 @@
+"""Synthetic ambient-temperature model.
+
+Ambient temperature enters the PV module model both directly (cell
+temperature) and through its correlation with irradiance (sunny periods are
+hotter).  The synthetic model superimposes:
+
+* a seasonal sinusoid (annual cycle, minimum in late January),
+* a diurnal sinusoid (daily cycle, maximum in mid-afternoon),
+* a coupling term proportional to the daily clear-sky index (clear days are
+  warmer than overcast days in the same season),
+* bounded day-to-day noise.
+
+Default parameters approximate the Turin climate the paper's roofs live in
+(yearly mean ~13 degC, ~11 degC diurnal swing, ~20 degC seasonal swing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WeatherError
+from ..solar.time_series import TimeGrid
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """Parameters of the synthetic ambient temperature process."""
+
+    annual_mean_c: float = 13.0
+    seasonal_amplitude_c: float = 10.5
+    diurnal_amplitude_c: float = 5.5
+    coldest_day_of_year: float = 25.0
+    warmest_hour: float = 15.0
+    clearness_coupling_c: float = 3.0
+    daily_noise_sigma_c: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.seasonal_amplitude_c < 0 or self.diurnal_amplitude_c < 0:
+            raise WeatherError("temperature amplitudes must be non-negative")
+        if self.daily_noise_sigma_c < 0:
+            raise WeatherError("temperature noise sigma must be non-negative")
+
+    def seasonal_component(self, day_of_year: np.ndarray) -> np.ndarray:
+        """Seasonal mean temperature for each day of year [degC]."""
+        day = np.asarray(day_of_year, dtype=float)
+        phase = 2.0 * np.pi * (day - self.coldest_day_of_year) / 365.0
+        return self.annual_mean_c - self.seasonal_amplitude_c * np.cos(phase)
+
+    def diurnal_component(self, hour: np.ndarray) -> np.ndarray:
+        """Diurnal temperature deviation for each hour of day [degC]."""
+        hour_arr = np.asarray(hour, dtype=float)
+        phase = 2.0 * np.pi * (hour_arr - self.warmest_hour) / 24.0
+        return self.diurnal_amplitude_c * np.cos(phase)
+
+
+def generate_temperature(
+    time_grid: TimeGrid,
+    model: TemperatureModel | None = None,
+    clearsky_index: np.ndarray | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate an ambient temperature series aligned with ``time_grid``.
+
+    Parameters
+    ----------
+    clearsky_index:
+        Optional clear-sky-index series from
+        :func:`repro.weather.clearness.generate_clearsky_index`; when given,
+        daily temperatures are raised on clear days and lowered on overcast
+        days, reproducing the irradiance/temperature correlation the paper's
+        thermal correction relies on.
+    """
+    temperature_model = model if model is not None else TemperatureModel()
+    rng = np.random.default_rng(seed + 1)
+
+    seasonal = temperature_model.seasonal_component(time_grid.days_of_year)
+    diurnal = temperature_model.diurnal_component(time_grid.hours)
+
+    steps_per_day = time_grid.steps_per_day
+    n_days = time_grid.n_days
+    daily_noise = rng.normal(0.0, temperature_model.daily_noise_sigma_c, size=n_days)
+    noise = np.repeat(daily_noise, steps_per_day)
+
+    coupling = np.zeros(time_grid.n_samples)
+    if clearsky_index is not None:
+        index = np.asarray(clearsky_index, dtype=float)
+        if index.shape[0] != time_grid.n_samples:
+            raise WeatherError("clearsky_index length must match the time grid")
+        daily_index = index.reshape(n_days, steps_per_day).mean(axis=1)
+        coupling = np.repeat(
+            temperature_model.clearness_coupling_c * (daily_index - 0.6), steps_per_day
+        )
+
+    return seasonal + diurnal + noise + coupling

@@ -1,0 +1,349 @@
+"""Unit tests for the geometry kernel (points, polygons, rasters, frames)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    AffineTransform2D,
+    BoundingBox,
+    Point2D,
+    Point3D,
+    Polygon,
+    Raster,
+    RasterSpec,
+    RoofPlaneFrame,
+    union_bounding_box,
+)
+
+
+class TestPoint2D:
+    def test_distance(self):
+        assert Point2D(0, 0).distance_to(Point2D(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_distance(self):
+        assert Point2D(1, 1).manhattan_distance_to(Point2D(4, -1)) == pytest.approx(5.0)
+
+    def test_addition_and_subtraction(self):
+        assert Point2D(1, 2) + Point2D(3, 4) == Point2D(4, 6)
+        assert Point2D(3, 4) - Point2D(1, 2) == Point2D(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert 2 * Point2D(1.5, -2.0) == Point2D(3.0, -4.0)
+
+    def test_rotation_quarter_turn(self):
+        rotated = Point2D(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_rotation_about_center(self):
+        rotated = Point2D(2, 1).rotated(math.pi, about=Point2D(1, 1))
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_dot_and_cross(self):
+        assert Point2D(1, 2).dot(Point2D(3, 4)) == pytest.approx(11.0)
+        assert Point2D(1, 0).cross(Point2D(0, 1)) == pytest.approx(1.0)
+
+    def test_normalized(self):
+        unit = Point2D(3, 4).normalized()
+        assert unit.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Point2D(0, 0).normalized()
+
+    def test_iteration_unpacking(self):
+        x, y = Point2D(7, 8)
+        assert (x, y) == (7, 8)
+
+
+class TestPoint3D:
+    def test_distance(self):
+        assert Point3D(0, 0, 0).distance_to(Point3D(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_cross_product_orthogonality(self):
+        a, b = Point3D(1, 0, 0), Point3D(0, 1, 0)
+        cross = a.cross(b)
+        assert cross.as_tuple() == (0, 0, 1)
+
+    def test_horizontal_projection(self):
+        assert Point3D(1, 2, 3).horizontal() == Point2D(1, 2)
+
+    def test_normalized_length(self):
+        assert Point3D(2, 3, 6).normalized().norm() == pytest.approx(1.0)
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3 and box.area == 12
+
+    def test_contains_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains_point(Point2D(1, 1))
+        assert box.contains_point(Point2D(0, 2))
+        assert not box.contains_point(Point2D(3, 1))
+
+    def test_intersects(self):
+        assert BoundingBox(0, 0, 2, 2).intersects(BoundingBox(1, 1, 3, 3))
+        assert not BoundingBox(0, 0, 1, 1).intersects(BoundingBox(2, 2, 3, 3))
+
+    def test_expanded(self):
+        grown = BoundingBox(0, 0, 1, 1).expanded(0.5)
+        assert grown.xmin == -0.5 and grown.xmax == 1.5
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_rectangle_area_and_perimeter(self):
+        rect = Polygon.rectangle(0, 0, 4, 3)
+        assert rect.area() == pytest.approx(12.0)
+        assert rect.perimeter() == pytest.approx(14.0)
+
+    def test_closing_vertex_dropped(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(poly) == 3
+
+    def test_signed_area_orientation(self):
+        ccw = Polygon([(0, 0), (1, 0), (1, 1)])
+        assert ccw.is_counter_clockwise()
+        assert not ccw.reversed().is_counter_clockwise()
+
+    def test_centroid_of_rectangle(self):
+        rect = Polygon.rectangle(0, 0, 2, 4)
+        centroid = rect.centroid()
+        assert centroid.x == pytest.approx(1.0)
+        assert centroid.y == pytest.approx(2.0)
+
+    def test_contains_point(self):
+        rect = Polygon.rectangle(0, 0, 2, 2)
+        assert rect.contains_point(Point2D(1, 1))
+        assert rect.contains_point(Point2D(0, 1))  # boundary
+        assert not rect.contains_point(Point2D(3, 1))
+        assert not rect.contains_point(Point2D(0, 1), include_boundary=False)
+
+    def test_translation(self):
+        rect = Polygon.rectangle(0, 0, 1, 1).translated(5, 5)
+        assert rect.contains_point(Point2D(5.5, 5.5))
+
+    def test_scaled_area(self):
+        rect = Polygon.rectangle(0, 0, 2, 2).scaled(2.0)
+        assert rect.area() == pytest.approx(16.0)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(0, 0, 1, 1).scaled(0.0)
+
+    def test_rotation_preserves_area(self):
+        rect = Polygon.rectangle(0, 0, 3, 1)
+        assert rect.rotated(0.7).area() == pytest.approx(rect.area())
+
+    def test_regular_polygon_vertex_count(self):
+        hexagon = Polygon.regular(Point2D(0, 0), 1.0, 6)
+        assert len(hexagon) == 6
+        assert hexagon.area() == pytest.approx(3 * math.sqrt(3) / 2, rel=1e-6)
+
+    def test_clip_fully_inside(self):
+        rect = Polygon.rectangle(1, 1, 2, 2)
+        clipped = rect.clip_to_box(BoundingBox(0, 0, 5, 5))
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(rect.area())
+
+    def test_clip_partial_overlap(self):
+        rect = Polygon.rectangle(0, 0, 4, 4)
+        clipped = rect.clip_to_box(BoundingBox(2, 2, 6, 6))
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(4.0)
+
+    def test_clip_disjoint_returns_none(self):
+        rect = Polygon.rectangle(0, 0, 1, 1)
+        assert rect.clip_to_box(BoundingBox(5, 5, 6, 6)) is None
+
+    def test_rasterize_center_mode(self):
+        rect = Polygon.rectangle(0, 0, 1, 1)
+        mask = rect.rasterize(Point2D(0, 0), 0.5, 4, 4, mode="center")
+        assert mask.sum() == 4
+        assert mask[:2, :2].all()
+
+    def test_rasterize_touch_mode_is_superset(self):
+        rect = Polygon.rectangle(0.1, 0.1, 0.9, 0.9)
+        center = rect.rasterize(Point2D(0, 0), 0.5, 4, 4, mode="center")
+        touch = rect.rasterize(Point2D(0, 0), 0.5, 4, 4, mode="touch")
+        assert touch.sum() >= center.sum()
+
+    def test_rasterize_invalid_mode(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(0, 0, 1, 1).rasterize(Point2D(0, 0), 0.5, 2, 2, mode="weird")
+
+    def test_union_bounding_box(self):
+        box = union_bounding_box(
+            [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(3, 3, 5, 4)]
+        )
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 5, 4)
+
+    def test_union_bounding_box_empty(self):
+        with pytest.raises(GeometryError):
+            union_bounding_box([])
+
+
+class TestRaster:
+    def spec(self) -> RasterSpec:
+        return RasterSpec(origin_x=10.0, origin_y=20.0, pitch=0.5, n_rows=4, n_cols=6)
+
+    def test_spec_dimensions(self):
+        spec = self.spec()
+        assert spec.shape == (4, 6)
+        assert spec.width == pytest.approx(3.0)
+        assert spec.height == pytest.approx(2.0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(GeometryError):
+            RasterSpec(0, 0, -1.0, 2, 2)
+        with pytest.raises(GeometryError):
+            RasterSpec(0, 0, 1.0, 0, 2)
+
+    def test_cell_center_roundtrip(self):
+        spec = self.spec()
+        center = spec.cell_center(1, 2)
+        assert spec.index_of(center) == (1, 2)
+
+    def test_index_outside_raises(self):
+        with pytest.raises(GeometryError):
+            self.spec().index_of(Point2D(0.0, 0.0))
+
+    def test_data_shape_validation(self):
+        with pytest.raises(GeometryError):
+            Raster(self.spec(), np.zeros((2, 2)))
+
+    def test_value_and_bilinear_on_constant_field(self):
+        raster = Raster(self.spec(), np.full((4, 6), 7.0))
+        assert raster.value_at(Point2D(11.0, 21.0)) == 7.0
+        assert raster.sample_bilinear(Point2D(11.2, 20.7)) == pytest.approx(7.0)
+
+    def test_bilinear_on_linear_field(self):
+        spec = RasterSpec(0, 0, 1.0, 5, 5)
+        rows, cols = np.meshgrid(np.arange(5), np.arange(5), indexing="ij")
+        raster = Raster(spec, cols.astype(float))
+        # The field increases by 1 per metre in x; cell centres are at x+0.5.
+        assert raster.sample_bilinear(Point2D(2.5, 2.5)) == pytest.approx(2.0)
+        assert raster.sample_bilinear(Point2D(3.0, 2.5)) == pytest.approx(2.5)
+
+    def test_window_extraction(self):
+        spec = RasterSpec(0, 0, 1.0, 4, 4)
+        raster = Raster(spec, np.arange(16, dtype=float).reshape(4, 4))
+        window = raster.window(1, 1, 2, 2)
+        assert window.shape == (2, 2)
+        assert window.data[0, 0] == 5.0
+
+    def test_window_out_of_bounds(self):
+        raster = Raster(self.spec())
+        with pytest.raises(GeometryError):
+            raster.window(3, 5, 2, 2)
+
+    def test_resampled_preserves_extent(self):
+        raster = Raster(self.spec(), np.random.default_rng(0).random((4, 6)))
+        coarse = raster.resampled(1.0)
+        assert coarse.spec.width >= raster.spec.width - 1e-9
+
+    def test_statistics(self):
+        raster = Raster(self.spec(), np.arange(24, dtype=float).reshape(4, 6))
+        assert raster.min() == 0.0 and raster.max() == 23.0
+        assert raster.mean() == pytest.approx(11.5)
+        assert raster.percentile(50) == pytest.approx(11.5)
+
+
+class TestAffineTransform:
+    def test_identity(self):
+        point = Point2D(3, -2)
+        assert AffineTransform2D.identity().apply(point) == point
+
+    def test_translation(self):
+        moved = AffineTransform2D.translation(1, 2).apply(Point2D(0, 0))
+        assert moved == Point2D(1, 2)
+
+    def test_rotation(self):
+        rotated = AffineTransform2D.rotation(math.pi / 2).apply(Point2D(1, 0))
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_compose_order(self):
+        rotate = AffineTransform2D.rotation(math.pi / 2)
+        translate = AffineTransform2D.translation(1, 0)
+        combined = translate.compose(rotate)  # rotate first, then translate
+        result = combined.apply(Point2D(1, 0))
+        assert result.x == pytest.approx(1.0)
+        assert result.y == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self):
+        transform = AffineTransform2D.rotation(0.3).compose(
+            AffineTransform2D.scaling(2.0, 0.5)
+        )
+        point = Point2D(1.7, -0.4)
+        roundtrip = transform.inverse().apply(transform.apply(point))
+        assert roundtrip.x == pytest.approx(point.x)
+        assert roundtrip.y == pytest.approx(point.y)
+
+    def test_scaling_zero_invalid(self):
+        with pytest.raises(GeometryError):
+            AffineTransform2D.scaling(0.0)
+
+    def test_singular_inverse_raises(self):
+        singular = AffineTransform2D(1, 0, 1, 0, 0, 0)
+        with pytest.raises(GeometryError):
+            singular.inverse()
+
+
+class TestRoofPlaneFrame:
+    def frame(self, azimuth=0.0, tilt=30.0) -> RoofPlaneFrame:
+        return RoofPlaneFrame(origin=Point3D(0, 0, 5), azimuth_deg=azimuth, tilt_deg=tilt)
+
+    def test_invalid_tilt(self):
+        with pytest.raises(GeometryError):
+            RoofPlaneFrame(origin=Point3D(0, 0, 0), azimuth_deg=0.0, tilt_deg=95.0)
+
+    def test_normal_is_unit_and_points_up(self):
+        normal = self.frame().normal
+        assert normal.norm() == pytest.approx(1.0)
+        assert normal.z > 0
+
+    def test_south_facing_normal_direction(self):
+        normal = self.frame(azimuth=0.0, tilt=30.0).normal
+        # South-facing: the horizontal part of the normal points south (-y).
+        assert normal.y < 0
+        assert abs(normal.x) < 1e-9
+
+    def test_origin_maps_to_origin(self):
+        frame = self.frame()
+        world = frame.roof_to_world(Point2D(0, 0))
+        assert world.as_tuple() == pytest.approx((0.0, 0.0, 5.0))
+
+    def test_u_axis_is_horizontal(self):
+        frame = self.frame()
+        along_eave = frame.roof_to_world(Point2D(1, 0))
+        assert along_eave.z == pytest.approx(5.0)
+
+    def test_v_axis_climbs_the_slope(self):
+        frame = self.frame(tilt=30.0)
+        up_slope = frame.roof_to_world(Point2D(0, 2))
+        assert up_slope.z == pytest.approx(5.0 + 2 * math.sin(math.radians(30)))
+
+    def test_roundtrip_world_roof(self):
+        frame = self.frame(azimuth=25.0, tilt=26.0)
+        roof_point = Point2D(3.3, 1.7)
+        recovered = frame.world_to_roof(frame.roof_to_world(roof_point))
+        assert recovered.x == pytest.approx(roof_point.x)
+        assert recovered.y == pytest.approx(roof_point.y)
+
+    def test_slope_distance_conversions(self):
+        frame = self.frame(tilt=60.0)
+        assert frame.slope_distance(1.0) == pytest.approx(2.0)
+        assert frame.horizontal_distance(2.0) == pytest.approx(1.0)
+        assert frame.elevation_gain(2.0) == pytest.approx(math.sqrt(3))

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on the core data structures and models.
+
+These check the invariants that must hold for *any* input, not just the
+hand-picked examples of the unit tests: geometric invariances, physical
+bounds of the solar and PV models, and the aggregation laws of the
+series/parallel panel model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import STC_IRRADIANCE
+from repro.geometry import BoundingBox, Point2D, Point3D, Polygon, RoofPlaneFrame
+from repro.pv import PVArray, SeriesParallelTopology, paper_module_model
+from repro.pv.wiring import WiringSpec, string_extra_length
+from repro.solar import (
+    erbs_diffuse_fraction,
+    incidence_cosine,
+    relative_air_mass,
+    solar_declination,
+    solar_elevation_azimuth,
+)
+from repro.solar.time_series import TimeGrid
+
+finite_coord = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+positive_size = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+class TestGeometryProperties:
+    @given(x1=finite_coord, y1=finite_coord, x2=finite_coord, y2=finite_coord)
+    def test_distance_symmetry_and_triangle_with_origin(self, x1, y1, x2, y2):
+        a, b = Point2D(x1, y1), Point2D(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+        origin = Point2D(0, 0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-6
+
+    @given(x=finite_coord, y=finite_coord)
+    def test_manhattan_at_least_euclidean(self, x, y):
+        a, b = Point2D(0, 0), Point2D(x, y)
+        assert a.manhattan_distance_to(b) >= a.distance_to(b) - 1e-9
+
+    @given(
+        x=finite_coord, y=finite_coord,
+        angle=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    )
+    def test_rotation_preserves_norm(self, x, y, angle):
+        point = Point2D(x, y)
+        assert point.rotated(angle).norm() == pytest.approx(point.norm(), abs=1e-6)
+
+    @given(
+        xmin=finite_coord, ymin=finite_coord,
+        width=positive_size, height=positive_size,
+    )
+    def test_rectangle_area_and_centroid(self, xmin, ymin, width, height):
+        rect = Polygon.rectangle(xmin, ymin, xmin + width, ymin + height)
+        assert rect.area() == pytest.approx(width * height, rel=1e-6, abs=1e-9)
+        centroid = rect.centroid()
+        assert rect.contains_point(centroid)
+        assert rect.perimeter() == pytest.approx(2 * (width + height), rel=1e-6, abs=1e-9)
+
+    @given(
+        xmin=finite_coord, ymin=finite_coord,
+        width=positive_size, height=positive_size,
+        dx=finite_coord, dy=finite_coord,
+    )
+    def test_translation_preserves_area(self, xmin, ymin, width, height, dx, dy):
+        rect = Polygon.rectangle(xmin, ymin, xmin + width, ymin + height)
+        assert rect.translated(dx, dy).area() == pytest.approx(rect.area(), rel=1e-6, abs=1e-9)
+
+    @given(
+        width=positive_size, height=positive_size,
+        clip=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_clipping_never_grows_area(self, width, height, clip):
+        rect = Polygon.rectangle(0, 0, width, height)
+        clipped = rect.clip_to_box(BoundingBox(0, 0, width * clip, height))
+        assert clipped is not None
+        assert clipped.area() <= rect.area() + 1e-9
+        assert clipped.area() == pytest.approx(width * clip * height, rel=1e-5, abs=1e-9)
+
+    @given(
+        azimuth=st.floats(min_value=-180.0, max_value=180.0),
+        tilt=st.floats(min_value=0.0, max_value=80.0),
+        u=st.floats(min_value=-50.0, max_value=50.0),
+        v=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_roof_frame_roundtrip_and_isometry(self, azimuth, tilt, u, v):
+        frame = RoofPlaneFrame(origin=Point3D(1.0, -2.0, 6.0), azimuth_deg=azimuth, tilt_deg=tilt)
+        roof_point = Point2D(u, v)
+        world = frame.roof_to_world(roof_point)
+        recovered = frame.world_to_roof(world)
+        assert recovered.x == pytest.approx(u, abs=1e-6)
+        assert recovered.y == pytest.approx(v, abs=1e-6)
+        # Mapping to world preserves distances (the frame is orthonormal).
+        assert world.distance_to(frame.origin) == pytest.approx(roof_point.norm(), abs=1e-6)
+
+
+class TestSolarProperties:
+    @given(day=st.floats(min_value=1.0, max_value=365.0))
+    def test_declination_bounded(self, day):
+        decl = float(solar_declination(np.array([day]))[0])
+        assert -23.6 <= decl <= 23.6
+
+    @given(elevation=st.floats(min_value=0.1, max_value=90.0))
+    def test_air_mass_at_least_one(self, elevation):
+        mass = float(relative_air_mass(np.array([elevation]))[0])
+        assert mass >= 0.99
+
+    @given(kt=st.floats(min_value=0.0, max_value=1.2))
+    def test_erbs_fraction_bounded(self, kt):
+        kd = float(erbs_diffuse_fraction(np.array([kt]))[0])
+        assert 0.0 <= kd <= 1.0
+
+    @given(
+        latitude=st.floats(min_value=-66.0, max_value=66.0),
+        day=st.floats(min_value=1.0, max_value=365.0),
+        hour=st.floats(min_value=0.0, max_value=24.0),
+    )
+    def test_elevation_bounded_by_colatitude(self, latitude, day, hour):
+        elevation, _, decl, _ = solar_elevation_azimuth(
+            latitude, np.array([day]), np.array([hour])
+        )
+        max_elevation = 90.0 - abs(latitude - decl[0]) + 1e-6
+        assert elevation[0] <= max_elevation + 0.5
+        assert elevation[0] >= -90.0
+
+    @given(
+        tilt=st.floats(min_value=0.0, max_value=90.0),
+        azimuth=st.floats(min_value=-180.0, max_value=180.0),
+        sun_elevation=st.floats(min_value=-20.0, max_value=90.0),
+        sun_azimuth=st.floats(min_value=-180.0, max_value=180.0),
+    )
+    def test_incidence_cosine_bounded(self, tilt, azimuth, sun_elevation, sun_azimuth):
+        cos_inc = float(
+            incidence_cosine(tilt, azimuth, np.array([sun_elevation]), np.array([sun_azimuth]))[0]
+        )
+        assert 0.0 <= cos_inc <= 1.0 + 1e-12
+
+    @given(
+        step=st.sampled_from([15.0, 30.0, 60.0, 120.0, 240.0]),
+        stride=st.integers(min_value=1, max_value=60),
+        power=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_energy_integration_scale_invariance(self, step, stride, power):
+        grid = TimeGrid(step_minutes=step, day_stride=stride)
+        energy = grid.integrate_energy_wh(np.full(grid.n_samples, power))
+        assert energy == pytest.approx(power * 8760.0, rel=1e-9)
+
+
+class TestPVProperties:
+    @given(
+        irradiance=st.floats(min_value=0.0, max_value=1300.0),
+        temperature=st.floats(min_value=-20.0, max_value=60.0),
+    )
+    def test_module_power_bounds(self, irradiance, temperature):
+        model = paper_module_model()
+        power = float(model.power(np.array([irradiance]), np.array([temperature]))[0])
+        assert power >= 0.0
+        # Never exceeds the STC rating by more than the cold-weather margin.
+        assert power <= 165.0 * (irradiance / STC_IRRADIANCE) * 1.3 + 1e-9
+
+    @given(
+        irradiance=st.floats(min_value=1.0, max_value=1300.0),
+        temperature=st.floats(min_value=-20.0, max_value=60.0),
+    )
+    def test_module_power_consistency(self, irradiance, temperature):
+        model = paper_module_model()
+        op = model.operating_point(np.array([irradiance]), np.array([temperature]))
+        assert float(op.power_w[0]) == pytest.approx(
+            float(op.voltage_v[0]) * float(op.current_a[0]), rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        n_series=st.integers(min_value=1, max_value=6),
+        n_parallel=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_panel_power_never_exceeds_module_sum(self, n_series, n_parallel, data):
+        topology = SeriesParallelTopology(n_series, n_parallel)
+        array = PVArray(topology)
+        irradiance = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1200.0),
+                    min_size=topology.n_modules,
+                    max_size=topology.n_modules,
+                )
+            )
+        )
+        panel = float(array.power_from_conditions(irradiance, 20.0))
+        ideal = float(array.sum_of_module_powers(irradiance, 20.0))
+        assert panel <= ideal + 1e-6
+        assert panel >= -1e-9
+
+    @given(
+        uniform=st.floats(min_value=10.0, max_value=1200.0),
+        n_series=st.integers(min_value=1, max_value=6),
+        n_parallel=st.integers(min_value=1, max_value=4),
+    )
+    def test_uniform_irradiance_has_no_mismatch(self, uniform, n_series, n_parallel):
+        array = PVArray(SeriesParallelTopology(n_series, n_parallel))
+        irradiance = np.full(n_series * n_parallel, uniform)
+        loss = float(array.mismatch_loss_fraction(irradiance, 20.0))
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_wiring_overhead_non_negative_and_monotone_in_connector(self, points):
+        positions = [Point2D(x, y) for x, y in points]
+        short_connector = string_extra_length(positions, WiringSpec(connector_length_m=0.5))
+        long_connector = string_extra_length(positions, WiringSpec(connector_length_m=2.0))
+        assert short_connector >= 0.0
+        assert long_connector <= short_connector + 1e-9
+
+
+class TestPlacementProperties:
+    @given(
+        rows=st.integers(min_value=0, max_value=20),
+        cols=st.integers(min_value=0, max_value=40),
+        cells_w=st.integers(min_value=1, max_value=8),
+        cells_h=st.integers(min_value=1, max_value=8),
+    )
+    def test_covered_cells_count_matches_footprint(self, rows, cols, cells_w, cells_h):
+        from repro.core import ModuleFootprint, ModulePlacement
+
+        placement = ModulePlacement(module_index=0, row=rows, col=cols)
+        footprint = ModuleFootprint(cells_w=cells_w, cells_h=cells_h)
+        cells = placement.covered_cells(footprint)
+        assert cells.shape == (cells_w * cells_h, 2)
+        assert len({tuple(c) for c in cells}) == cells_w * cells_h
+        assert cells[:, 0].min() == rows and cells[:, 1].min() == cols

@@ -1,0 +1,408 @@
+"""Unit tests for the solar substrate (position, clear sky, decomposition,
+transposition, shading, time grid, irradiance field)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import SOLAR_CONSTANT, TURIN_LATITUDE
+from repro.errors import SolarModelError
+from repro.gis import DigitalSurfaceModel
+from repro.solar import (
+    TimeGrid,
+    clearness_index,
+    clearsky_irradiance,
+    compute_horizon_map,
+    compute_solar_position,
+    daylight_hours,
+    decompose_ghi,
+    equation_of_time_minutes,
+    erbs_diffuse_fraction,
+    fast_time_grid,
+    incidence_cosine,
+    paper_time_grid,
+    plane_of_array,
+    relative_air_mass,
+    shadow_fraction_map,
+    solar_declination,
+    sunrise_sunset_hour,
+)
+from repro.solar.linke import LinkeTurbidityProfile
+
+
+class TestTimeGrid:
+    def test_paper_grid_size(self):
+        grid = paper_time_grid()
+        assert grid.n_samples == 365 * 96
+        assert grid.annual_scale == pytest.approx(1.0)
+
+    def test_day_stride_scaling(self):
+        grid = TimeGrid(step_minutes=60.0, day_stride=7)
+        assert grid.n_days == 53
+        assert grid.annual_scale == pytest.approx(365 / 53)
+
+    def test_invalid_step(self):
+        with pytest.raises(SolarModelError):
+            TimeGrid(step_minutes=0.0)
+        with pytest.raises(SolarModelError):
+            TimeGrid(step_minutes=7.0)  # does not divide 24 h
+
+    def test_invalid_stride(self):
+        with pytest.raises(SolarModelError):
+            TimeGrid(day_stride=0)
+
+    def test_sample_access(self):
+        grid = fast_time_grid()
+        day, hour = grid.sample(0)
+        assert day == 1.0
+        assert 0.0 < hour < 1.0
+        with pytest.raises(SolarModelError):
+            grid.sample(grid.n_samples)
+
+    def test_energy_integration_constant_power(self):
+        grid = TimeGrid(step_minutes=60.0, day_stride=1)
+        energy = grid.integrate_energy_wh(np.full(grid.n_samples, 100.0))
+        assert energy == pytest.approx(100.0 * 8760.0)
+
+    def test_energy_integration_subsampled_is_unbiased(self):
+        grid = TimeGrid(step_minutes=60.0, day_stride=5)
+        energy = grid.integrate_energy_wh(np.full(grid.n_samples, 100.0))
+        assert energy == pytest.approx(100.0 * 8760.0, rel=1e-9)
+
+    def test_energy_integration_length_mismatch(self):
+        grid = fast_time_grid()
+        with pytest.raises(SolarModelError):
+            grid.integrate_energy_wh(np.zeros(3))
+
+    def test_day_fraction_monotone(self):
+        grid = fast_time_grid()
+        fraction = grid.day_fraction()
+        assert np.all(np.diff(fraction) >= 0)
+        assert fraction[0] >= 0 and fraction[-1] <= 1
+
+
+class TestSolarPosition:
+    def test_declination_range_and_solstices(self):
+        days = np.arange(1, 366)
+        decl = solar_declination(days)
+        assert decl.max() == pytest.approx(23.45, abs=0.5)
+        assert decl.min() == pytest.approx(-23.45, abs=0.5)
+        assert np.argmax(decl) + 1 == pytest.approx(172, abs=4)
+
+    def test_equation_of_time_bounds(self):
+        eot = equation_of_time_minutes(np.arange(1, 366))
+        assert eot.max() < 17.5 and eot.min() > -15.0
+
+    def test_noon_elevation_turin_summer(self):
+        position = compute_solar_position(TURIN_LATITUDE, np.array([172.0]), np.array([12.0]))
+        expected = 90.0 - TURIN_LATITUDE + 23.4
+        assert position.elevation_deg[0] == pytest.approx(expected, abs=1.0)
+
+    def test_noon_azimuth_is_south(self):
+        position = compute_solar_position(TURIN_LATITUDE, np.array([100.0]), np.array([12.0]))
+        assert abs(position.azimuth_deg[0]) < 2.0
+
+    def test_morning_sun_is_east(self):
+        position = compute_solar_position(TURIN_LATITUDE, np.array([172.0]), np.array([8.0]))
+        # Convention: azimuth negative towards East.
+        assert position.azimuth_deg[0] < -30.0
+
+    def test_midnight_sun_below_horizon(self):
+        position = compute_solar_position(TURIN_LATITUDE, np.array([172.0]), np.array([0.5]))
+        assert position.elevation_deg[0] < 0
+        assert not position.is_up[0]
+
+    def test_extraterrestrial_close_to_solar_constant(self):
+        position = compute_solar_position(TURIN_LATITUDE, np.arange(1, 366), np.full(365, 12.0))
+        assert np.all(np.abs(position.extraterrestrial_normal - SOLAR_CONSTANT) < 50)
+
+    def test_latitude_validation(self):
+        with pytest.raises(SolarModelError):
+            compute_solar_position(120.0, np.array([1.0]), np.array([12.0]))
+
+    def test_sunrise_sunset_symmetry(self):
+        sunrise, sunset = sunrise_sunset_hour(TURIN_LATITUDE, 100.0)
+        assert sunrise < 12.0 < sunset
+        assert (12.0 - sunrise) == pytest.approx(sunset - 12.0, abs=1e-9)
+
+    def test_daylight_longer_in_summer(self):
+        assert daylight_hours(TURIN_LATITUDE, 172) > daylight_hours(TURIN_LATITUDE, 355)
+
+    def test_polar_day_and_night(self):
+        assert sunrise_sunset_hour(80.0, 172) == (0.0, 24.0)
+        assert sunrise_sunset_hour(80.0, 355) == (12.0, 12.0)
+
+
+class TestClearSky:
+    def test_air_mass_one_at_zenith(self):
+        assert relative_air_mass(np.array([90.0]))[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_air_mass_grows_towards_horizon(self):
+        masses = relative_air_mass(np.array([90.0, 30.0, 10.0, 2.0]))
+        assert np.all(np.diff(masses) > 0)
+
+    def test_air_mass_infinite_below_horizon(self):
+        assert np.isinf(relative_air_mass(np.array([-5.0]))[0])
+
+    def test_clearsky_magnitudes_at_noon(self):
+        irradiance = clearsky_irradiance(
+            np.array([1361.0]), np.array([65.0]), np.array([3.0])
+        )
+        assert 750.0 < irradiance.beam_normal[0] < 1100.0
+        assert 50.0 < irradiance.diffuse_horizontal[0] < 200.0
+        assert irradiance.global_horizontal[0] > irradiance.diffuse_horizontal[0]
+
+    def test_clearsky_zero_at_night(self):
+        irradiance = clearsky_irradiance(
+            np.array([1361.0]), np.array([-10.0]), np.array([3.0])
+        )
+        assert irradiance.beam_normal[0] == 0.0
+        assert irradiance.global_horizontal[0] == 0.0
+
+    def test_higher_turbidity_means_less_beam(self):
+        clean = clearsky_irradiance(np.array([1361.0]), np.array([45.0]), np.array([2.0]))
+        hazy = clearsky_irradiance(np.array([1361.0]), np.array([45.0]), np.array([6.0]))
+        assert hazy.beam_normal[0] < clean.beam_normal[0]
+        assert hazy.diffuse_horizontal[0] > clean.diffuse_horizontal[0]
+
+    def test_invalid_turbidity(self):
+        with pytest.raises(SolarModelError):
+            clearsky_irradiance(np.array([1361.0]), np.array([45.0]), np.array([0.0]))
+
+    def test_linke_profile_interpolation(self):
+        profile = LinkeTurbidityProfile.turin_default()
+        values = profile.value_for_day(np.array([15.5, 196.5]))
+        assert values[0] == pytest.approx(2.6, abs=0.05)
+        assert values[1] == pytest.approx(3.9, abs=0.05)
+
+    def test_linke_profile_validation(self):
+        with pytest.raises(SolarModelError):
+            LinkeTurbidityProfile.from_monthly([3.0] * 11)
+        with pytest.raises(SolarModelError):
+            LinkeTurbidityProfile.from_monthly([0.0] + [3.0] * 11)
+
+    def test_linke_constant_profile(self):
+        profile = LinkeTurbidityProfile.constant(2.5)
+        assert profile.annual_mean() == pytest.approx(2.5)
+
+
+class TestDecomposition:
+    def test_clearness_index_range(self):
+        kt = clearness_index(np.array([500.0]), np.array([1361.0]), np.array([45.0]))
+        assert 0.0 < kt[0] < 1.0
+
+    def test_clearness_zero_at_night(self):
+        kt = clearness_index(np.array([0.0]), np.array([1361.0]), np.array([-5.0]))
+        assert kt[0] == 0.0
+
+    def test_erbs_monotone_decreasing(self):
+        kd = erbs_diffuse_fraction(np.array([0.1, 0.3, 0.5, 0.7]))
+        assert np.all(np.diff(kd) < 0)
+        assert np.all((kd >= 0) & (kd <= 1))
+
+    def test_erbs_overcast_mostly_diffuse(self):
+        assert erbs_diffuse_fraction(np.array([0.1]))[0] > 0.9
+
+    def test_decompose_energy_closure(self):
+        ghi = np.array([600.0])
+        elevation = np.array([50.0])
+        result = decompose_ghi(ghi, np.array([1361.0]), elevation)
+        reconstructed = result.dni[0] * np.sin(np.radians(elevation[0])) + result.dhi[0]
+        assert reconstructed == pytest.approx(ghi[0], rel=1e-6)
+
+    def test_decompose_night_is_zero(self):
+        result = decompose_ghi(np.array([0.0]), np.array([1361.0]), np.array([-10.0]))
+        assert result.dni[0] == 0.0 and result.dhi[0] == 0.0
+
+    def test_decompose_unknown_model(self):
+        with pytest.raises(SolarModelError):
+            decompose_ghi(np.array([500.0]), np.array([1361.0]), np.array([45.0]), model="foo")
+
+    def test_engerer_model_runs_and_bounded(self):
+        result = decompose_ghi(
+            np.array([500.0, 100.0]),
+            np.array([1361.0, 1361.0]),
+            np.array([45.0, 20.0]),
+            model="engerer",
+            clearsky_ghi=np.array([800.0, 300.0]),
+        )
+        assert np.all((result.diffuse_fraction >= 0) & (result.diffuse_fraction <= 1))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SolarModelError):
+            decompose_ghi(np.array([500.0, 200.0]), np.array([1361.0]), np.array([45.0]))
+
+
+class TestTransposition:
+    def test_incidence_flat_surface_equals_sin_elevation(self):
+        cos_inc = incidence_cosine(0.0, 0.0, np.array([30.0]), np.array([0.0]))
+        assert cos_inc[0] == pytest.approx(np.sin(np.radians(30.0)))
+
+    def test_incidence_normal_surface(self):
+        cos_inc = incidence_cosine(60.0, 0.0, np.array([30.0]), np.array([0.0]))
+        assert cos_inc[0] == pytest.approx(1.0)
+
+    def test_incidence_clamped_behind_surface(self):
+        cos_inc = incidence_cosine(90.0, 0.0, np.array([30.0]), np.array([180.0]))
+        assert cos_inc[0] == 0.0
+
+    def test_invalid_tilt(self):
+        with pytest.raises(SolarModelError):
+            incidence_cosine(120.0, 0.0, np.array([30.0]), np.array([0.0]))
+
+    def test_south_tilt_boosts_winter_irradiance(self):
+        # Low winter sun: a 30 deg south-facing tilt collects more beam than flat.
+        poa_flat = plane_of_array(
+            np.array([700.0]), np.array([80.0]), np.array([400.0]), np.array([1400.0]),
+            0.0, 0.0, np.array([20.0]), np.array([0.0]),
+        )
+        poa_tilt = plane_of_array(
+            np.array([700.0]), np.array([80.0]), np.array([400.0]), np.array([1400.0]),
+            30.0, 0.0, np.array([20.0]), np.array([0.0]),
+        )
+        assert poa_tilt.total[0] > poa_flat.total[0]
+
+    def test_isotropic_and_haydavies_agree_for_zero_dni(self):
+        kwargs = dict(
+            dni=np.array([0.0]), dhi=np.array([100.0]), ghi=np.array([100.0]),
+            extraterrestrial_normal=np.array([1400.0]),
+            surface_tilt_deg=30.0, surface_azimuth_deg=0.0,
+            solar_elevation_deg=np.array([40.0]), solar_azimuth_deg=np.array([0.0]),
+        )
+        iso = plane_of_array(sky_model="isotropic", **kwargs)
+        hd = plane_of_array(sky_model="haydavies", **kwargs)
+        assert iso.sky_diffuse[0] == pytest.approx(hd.sky_diffuse[0], rel=1e-9)
+
+    def test_unknown_sky_model(self):
+        with pytest.raises(SolarModelError):
+            plane_of_array(
+                np.array([0.0]), np.array([0.0]), np.array([0.0]), np.array([1400.0]),
+                30.0, 0.0, np.array([40.0]), np.array([0.0]), sky_model="nope",
+            )
+
+    def test_ground_reflection_zero_for_flat(self):
+        poa = plane_of_array(
+            np.array([500.0]), np.array([100.0]), np.array([500.0]), np.array([1400.0]),
+            0.0, 0.0, np.array([45.0]), np.array([0.0]),
+        )
+        assert poa.ground_reflected[0] == pytest.approx(0.0)
+
+
+class TestShading:
+    def flat_dsm_with_wall(self) -> DigitalSurfaceModel:
+        elevation = np.zeros((20, 20))
+        elevation[:, 12] = 2.0  # a north-south wall at x ~ 4.8 m
+        return DigitalSurfaceModel.from_array(elevation, pitch=0.4)
+
+    def test_horizon_shape(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=8, max_distance=8.0)
+        assert horizon.horizon_deg.shape == (8, 20, 20)
+        assert horizon.n_sectors == 8
+
+    def test_horizon_zero_on_open_flat_ground(self):
+        dsm = DigitalSurfaceModel.flat(8.0, 8.0, pitch=0.4)
+        horizon = compute_horizon_map(dsm.raster, n_sectors=8, max_distance=6.0)
+        assert float(horizon.horizon_deg.max()) == pytest.approx(0.0)
+        assert np.allclose(horizon.sky_view_factor(), 1.0)
+
+    def test_wall_raises_horizon_to_its_west(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=16, max_distance=8.0)
+        # A cell just west of the wall looking east (azimuth -90) sees a high horizon.
+        east_sector = horizon.horizon_at(-90.0)
+        assert east_sector[10, 10] > 45.0
+        # Looking west from the same cell the horizon is clear.
+        west_sector = horizon.horizon_at(90.0)
+        assert west_sector[10, 10] == pytest.approx(0.0)
+
+    def test_shadow_mask_sun_below_horizon(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=8, max_distance=8.0)
+        assert horizon.shadow_mask(-5.0, 0.0).all()
+
+    def test_wall_shadows_low_eastern_sun(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=16, max_distance=8.0)
+        shaded = horizon.shadow_mask(20.0, -90.0)  # low sun in the east
+        lit = horizon.shadow_mask(70.0, -90.0)  # high sun in the east
+        assert shaded[10, 10]
+        assert not lit[10, 10]
+
+    def test_lit_fraction_series_shape_and_range(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=8, max_distance=8.0)
+        rows = np.array([10, 10])
+        cols = np.array([5, 15])
+        lit = horizon.lit_fraction_for_cells(
+            rows, cols, np.array([30.0, -10.0, 60.0]), np.array([0.0, 0.0, -90.0])
+        )
+        assert lit.shape == (3, 2)
+        assert set(np.unique(lit)).issubset({0.0, 1.0})
+        # Sun below horizon -> nothing is lit.
+        assert np.all(lit[1] == 0.0)
+
+    def test_sky_view_lower_near_wall(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=16, max_distance=8.0)
+        svf = horizon.sky_view_factor()
+        assert svf[10, 11] < svf[10, 2]
+
+    def test_shadow_fraction_map(self):
+        dsm = self.flat_dsm_with_wall()
+        horizon = compute_horizon_map(dsm.raster, n_sectors=8, max_distance=8.0)
+        fraction = shadow_fraction_map(
+            horizon, np.array([20.0, 60.0]), np.array([-90.0, 0.0])
+        )
+        assert fraction.shape == (20, 20)
+        assert np.all((fraction >= 0.0) & (fraction <= 1.0))
+
+
+class TestRoofSolarField:
+    def test_field_dimensions(self, small_solar, small_grid, small_time_grid):
+        assert small_solar.n_cells == small_grid.n_valid
+        assert small_solar.n_time == small_time_grid.n_samples
+        assert small_solar.irradiance.shape == (small_solar.n_time, small_solar.n_cells)
+
+    def test_irradiance_non_negative_and_bounded(self, small_solar):
+        assert float(small_solar.irradiance.min()) >= 0.0
+        assert float(small_solar.irradiance.max()) < 1400.0
+
+    def test_percentile_map_nan_outside_valid(self, small_solar, small_grid):
+        p75 = small_solar.percentile_map(75)
+        assert p75.shape == small_grid.shape
+        assert np.count_nonzero(np.isfinite(p75)) == small_grid.n_valid
+
+    def test_percentile_map_ordering(self, small_solar):
+        p25 = small_solar.percentile_map(25)
+        p75 = small_solar.percentile_map(75)
+        valid = np.isfinite(p75)
+        assert np.all(p75[valid] >= p25[valid] - 1e-6)
+
+    def test_cell_series_accessors(self, small_solar):
+        row, col = small_solar.cells[0]
+        series = small_solar.irradiance_for_cell(int(row), int(col))
+        assert series.shape == (small_solar.n_time,)
+        pair = small_solar.irradiance_for_cells(small_solar.cells[:2])
+        assert pair.shape == (small_solar.n_time, 2)
+
+    def test_invalid_cell_lookup(self, small_solar, small_grid):
+        invalid_cells = np.argwhere(~small_grid.valid_mask)
+        if invalid_cells.size:
+            row, col = invalid_cells[0]
+            with pytest.raises(SolarModelError):
+                small_solar.column_of(int(row), int(col))
+
+    def test_annual_insolation_plausible(self, small_solar):
+        insolation = small_solar.annual_insolation_map_kwh()
+        finite = insolation[np.isfinite(insolation)]
+        # Turin-like climate on a 26 deg tilt: a few hundred to ~1700 kWh/m2.
+        assert 200.0 < float(np.median(finite)) < 1800.0
+
+    def test_mean_map_below_percentile75(self, small_solar):
+        mean_map = small_solar.mean_map()
+        p75 = small_solar.percentile_map(75)
+        valid = np.isfinite(mean_map)
+        # Because the distribution contains nights, the mean is well below p75.
+        assert np.mean(mean_map[valid]) < np.mean(p75[valid])
