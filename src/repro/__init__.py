@@ -14,6 +14,13 @@ High-level usage (see also ``examples/quickstart.py``)::
     result = plan_roof(simple_residential_roof(), n_modules=8)
     print(result.report())
 
+Scenario fleets run through the batch runner (or ``python -m repro batch``)::
+
+    from repro.runner import run_batch
+    from repro.scenario import builtin_scenarios
+
+    batch = run_batch(list(builtin_scenarios().values()), jobs=4)
+
 Sub-packages
 ------------
 ``repro.geometry``    points, polygons, rasters, roof-plane frames
@@ -26,13 +33,18 @@ Sub-packages
                       exhaustive) and the energy evaluator
 ``repro.analysis``    reports, maps, structural placement metrics
 ``repro.io``          DSM (.asc), weather CSV, placement JSON
+``repro.scenario``    declarative, JSON-round-trippable scenario specs and
+                      the built-in scenario catalog
+``repro.runner``      content-hash stage cache, solver registry, cached
+                      staged pipeline, parallel batch runner (JSONL store)
 ``repro.experiments`` the paper's case studies and per-table/figure drivers
+``repro.cli``         the ``repro`` / ``python -m repro`` command line
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
 
 from .constants import DEFAULT_GRID_PITCH
 from .core import (
@@ -48,6 +60,9 @@ from .core import (
 from .errors import ReproError
 from .gis import RoofSpec, build_roof_scene, make_roof_grid, suitable_grid_for_scene
 from .pv.datasheet import PV_MF165EB3, ModuleDatasheet
+from .runner.cache import StageCache
+from .runner.solvers import SolverOutcome, available_solvers, solve
+from .runner.stages import prepare_problem
 from .solar import SolarSimulationConfig, TimeGrid, compute_roof_solar_field
 from .weather import SyntheticWeatherConfig, WeatherSeries, generate_weather
 
@@ -58,6 +73,7 @@ __all__ = [
     "ReproError",
     "RoofPlanResult",
     "plan_roof",
+    "available_solvers",
     "FloorplanProblem",
     "default_topology",
     "greedy_floorplan",
@@ -71,9 +87,21 @@ class RoofPlanResult:
     """Outcome of the end-to-end :func:`plan_roof` pipeline."""
 
     problem: FloorplanProblem
-    greedy: GreedyResult
-    traditional: TraditionalResult
+    proposed: SolverOutcome
+    baseline: SolverOutcome
     comparison: PlacementComparison
+    solver_name: str = "greedy"
+    stage_cached: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def greedy(self) -> SolverOutcome:
+        """The proposed-solver outcome (kept for backward compatibility)."""
+        return self.proposed
+
+    @property
+    def traditional(self) -> SolverOutcome:
+        """The compact-baseline outcome (kept for backward compatibility)."""
+        return self.baseline
 
     @property
     def improvement_percent(self) -> float:
@@ -89,7 +117,7 @@ class RoofPlanResult:
             f"({self.problem.topology.n_series}s x {self.problem.topology.n_parallel}p)\n"
             f"  traditional : {baseline.annual_energy_mwh:8.3f} MWh/year\n"
             f"  proposed    : {candidate.annual_energy_mwh:8.3f} MWh/year "
-            f"({self.improvement_percent:+.2f} %)\n"
+            f"({self.improvement_percent:+.2f} %, solver={self.solver_name})\n"
             f"  extra cable : {candidate.wiring_extra_length_m:6.1f} m "
             f"({candidate.wiring_loss_fraction * 100:.3f} % energy loss)"
         )
@@ -105,12 +133,16 @@ def plan_roof(
     weather: Optional[WeatherSeries] = None,
     weather_seed: int = 0,
     solar_config: Optional[SolarSimulationConfig] = None,
+    solver: str = "greedy",
+    solver_options: Optional[Mapping[str, Any]] = None,
+    cache: Optional[StageCache] = None,
 ) -> RoofPlanResult:
     """End-to-end pipeline: roof description -> optimal placement and report.
 
     Builds the synthetic scene, extracts the suitable area, simulates the
-    spatio-temporal irradiance, and runs both the traditional baseline and
-    the paper's greedy floorplanner, returning their comparison.
+    spatio-temporal irradiance (optionally through the stage cache), runs
+    the compact baseline and the selected solver, and returns their
+    comparison.
 
     Parameters
     ----------
@@ -133,31 +165,37 @@ def plan_roof(
         omitted.
     solar_config:
         Options of the irradiance simulation.
+    solver:
+        Name of the placement solver in the :mod:`repro.runner.solvers`
+        registry (``greedy``, ``traditional``, ``ilp``, ``exhaustive``).
+    solver_options:
+        Options forwarded to the solver's config dataclass.
+    cache:
+        Optional :class:`~repro.runner.StageCache`; when given, the scene,
+        grid and solar-field stages are memoised on disk and reused across
+        calls that share a roof/weather/time base.
     """
-    grid_time = time_grid if time_grid is not None else TimeGrid(step_minutes=60.0, day_stride=7)
-    series = (
-        generate_weather(grid_time, SyntheticWeatherConfig(seed=weather_seed))
-        if weather is None
-        else weather
-    )
-
-    scene = build_roof_scene(spec)
-    grid = make_roof_grid(scene, pitch=grid_pitch)
-    grid = suitable_grid_for_scene(scene, grid)
-    solar = compute_roof_solar_field(scene, grid, series, solar_config)
-
-    topology = default_topology(n_modules, n_series if n_series is not None else 8)
-    problem = FloorplanProblem(
-        grid=grid,
-        solar=solar,
-        n_modules=n_modules,
-        topology=topology,
+    problem, stage_cached, _ = prepare_problem(
+        spec,
+        n_modules,
+        n_series=n_series if n_series is not None else min(8, n_modules),
         datasheet=datasheet,
+        grid_pitch=grid_pitch,
+        time_grid=time_grid,
+        weather=weather,
+        weather_seed=weather_seed,
+        solar_config=solar_config,
+        cache=cache,
         label=spec.name,
     )
-    traditional = traditional_floorplan(problem)
-    greedy = greedy_floorplan(problem, suitability=traditional.suitability)
-    comparison = compare_placements(problem, traditional.placement, greedy.placement)
+    baseline = solve(problem, "traditional")
+    proposed = solve(problem, solver, solver_options, suitability=baseline.suitability)
+    comparison = compare_placements(problem, baseline.placement, proposed.placement)
     return RoofPlanResult(
-        problem=problem, greedy=greedy, traditional=traditional, comparison=comparison
+        problem=problem,
+        proposed=proposed,
+        baseline=baseline,
+        comparison=comparison,
+        solver_name=solver,
+        stage_cached=stage_cached,
     )

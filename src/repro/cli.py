@@ -1,0 +1,263 @@
+"""Command-line front-end: ``python -m repro`` / the ``repro`` console script.
+
+Subcommands
+-----------
+``list-scenarios``
+    Show the built-in scenario catalog (name, solver, size, description).
+``run``
+    Execute one scenario -- built-in by name or loaded from a JSON file --
+    through the cached staged pipeline and print its report.
+``batch``
+    Execute a scenario fleet in parallel worker processes and write a JSONL
+    results store.
+``compare``
+    Run several solvers on the same scenario (sharing every cached stage)
+    and print a side-by-side table.
+
+All subcommands share the stage-cache flags: ``--cache-dir`` points the
+content-addressed store somewhere explicit (default: ``$REPRO_CACHE_DIR``
+or ``~/.cache/repro``), ``--no-cache`` bypasses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .runner.batch import run_batch
+from .runner.cache import StageCache, default_cache_dir
+from .runner.solvers import available_solvers
+from .runner.stages import run_scenario
+from .scenario.catalog import builtin_scenarios, get_scenario
+from .scenario.spec import ScenarioSpec, SolverSpec
+
+
+def _cache_from_args(args: argparse.Namespace) -> StageCache:
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    return StageCache(root=root, enabled=not args.no_cache)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the stage cache (recompute everything)",
+    )
+
+
+def _load_scenario(name_or_path: str) -> ScenarioSpec:
+    """Resolve a scenario argument: catalog name first, then JSON file path."""
+    catalog = builtin_scenarios()
+    if name_or_path in catalog:
+        return catalog[name_or_path]
+    path = Path(name_or_path)
+    if path.exists():
+        return ScenarioSpec.load(path)
+    known = ", ".join(catalog)
+    raise ReproError(
+        f"{name_or_path!r} is neither a built-in scenario nor a scenario file; "
+        f"built-ins: {known}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    catalog = builtin_scenarios()
+    if args.json:
+        records = [
+            {
+                "name": spec.name,
+                "solver": spec.solver.name,
+                "n_modules": spec.n_modules,
+                "tags": list(spec.tags),
+                "description": spec.description,
+            }
+            for spec in catalog.values()
+        ]
+        print(json.dumps(records, indent=2))
+        return 0
+    width = max(len(name) for name in catalog)
+    print(f"{len(catalog)} built-in scenarios (solvers: {', '.join(available_solvers())})")
+    for spec in catalog.values():
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(
+            f"  {spec.name:<{width}}  solver={spec.solver.name:<11} "
+            f"N={spec.n_modules:<3} {spec.description}{tags}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_scenario(args.scenario)
+    if args.solver:
+        spec = spec.with_solver(args.solver)
+    cache = _cache_from_args(args)
+    result = run_scenario(spec, cache=cache)
+    print(result.report())
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        specs = [_load_scenario(name) for name in args.scenarios]
+    else:
+        specs = list(builtin_scenarios().values())
+    cache = _cache_from_args(args)
+    batch = run_batch(
+        specs,
+        cache=cache,
+        jobs=args.jobs,
+        results_path=args.results,
+        use_cache=not args.no_cache,
+        parallel=not args.serial,
+    )
+    for result in batch.results:
+        print(result.report())
+    summary = batch.summary()
+    hits = summary["cache_hits_by_stage"]
+    hit_note = (
+        ", ".join(f"{stage}={count}" for stage, count in sorted(hits.items()))
+        if hits
+        else "none"
+    )
+    print(
+        f"batch: {batch.n_scenarios} scenarios with {batch.jobs} worker(s) "
+        f"in {batch.runtime_s:.2f}s; cache hits: {hit_note}"
+    )
+    if batch.results_path is not None:
+        print(f"results store: {batch.results_path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = _load_scenario(args.scenario)
+    solvers = [name.strip() for name in args.solvers.split(",") if name.strip()]
+    if not solvers:
+        raise ReproError("--solvers needs at least one solver name")
+    cache = _cache_from_args(args)
+    rows = []
+    for solver in solvers:
+        result = run_scenario(spec.with_solver(solver), cache=cache)
+        rows.append(result)
+    best = max(row.annual_energy_mwh for row in rows)
+    print(f"{spec.name}: N={spec.n_modules} ({len(rows)} solvers)")
+    print(f"  {'solver':<12} {'energy MWh/y':>13} {'vs best':>9} {'wiring m':>9} {'time s':>7}")
+    for row in rows:
+        delta = (
+            0.0 if best <= 0 else 100.0 * (row.annual_energy_mwh - best) / best
+        )
+        print(
+            f"  {row.solver:<12} {row.annual_energy_mwh:>13.3f} {delta:>8.2f}% "
+            f"{row.wiring_extra_length_m:>9.1f} {row.runtime_s:>7.2f}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser assembly
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for the docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GIS-based PV floorplanning: scenario runner and batch executor.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-scenarios", help="show the built-in scenario catalog"
+    )
+    list_parser.add_argument("--json", action="store_true", help="emit JSON")
+    list_parser.set_defaults(func=_cmd_list_scenarios)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario (built-in name or JSON file)"
+    )
+    run_parser.add_argument("scenario", help="built-in scenario name or path to a JSON spec")
+    run_parser.add_argument(
+        "--solver",
+        default=None,
+        choices=available_solvers(),
+        help="override the scenario's solver",
+    )
+    run_parser.add_argument("--output", default=None, help="write the result JSON here")
+    _add_cache_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="run a scenario fleet in parallel and store JSONL results"
+    )
+    batch_parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names / JSON files (default: the whole built-in catalog)",
+    )
+    batch_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count)"
+    )
+    batch_parser.add_argument(
+        "--serial", action="store_true", help="run in-process without worker processes"
+    )
+    batch_parser.add_argument(
+        "--results", default="repro-results.jsonl", help="JSONL results store path"
+    )
+    _add_cache_arguments(batch_parser)
+    batch_parser.set_defaults(func=_cmd_batch)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run several solvers on one scenario and compare"
+    )
+    compare_parser.add_argument("scenario", help="built-in scenario name or JSON file")
+    compare_parser.add_argument(
+        "--solvers",
+        default="greedy,traditional",
+        help="comma-separated solver names (default: greedy,traditional)",
+    )
+    _add_cache_arguments(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro list-scenarios | head`) closed
+        # the pipe; exit quietly with the conventional SIGPIPE status.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -36,13 +36,8 @@ from ..gis import (
     AdjacentStructure,
     RoofScene,
     RoofSpec,
-    SuitableAreaConfig,
-    build_roof_scene,
     chimney,
-    compute_suitable_area,
-    apply_suitable_area,
     hvac_unit,
-    make_roof_grid,
     pipe_rack,
     scattered_vents,
     skylight_row,
@@ -53,8 +48,6 @@ from ..solar import (
     RoofSolarField,
     SolarSimulationConfig,
     TimeGrid,
-    compute_horizon_map,
-    compute_roof_solar_field,
 )
 from ..weather import SyntheticWeatherConfig, WeatherSeries, generate_weather
 
@@ -294,40 +287,53 @@ def prepare_case_study(
     spec: RoofSpec,
     config: CaseStudyConfig | None = None,
     weather: Optional[WeatherSeries] = None,
+    cache: "StageCache | None" = None,
 ) -> CaseStudy:
     """Build the scene, suitable grid, weather and solar field for one roof.
 
     This is the end-to-end "solar data extraction" pipeline of the paper's
     Section IV applied to a synthetic roof; passing the same ``weather``
     object to several roofs mimics the paper's setup where the three
-    adjacent buildings share the same weather station.
+    adjacent buildings share the same weather station.  With a ``cache``
+    the expensive stages (scene, suitable grid, horizon map, solar field)
+    are memoised on disk through :mod:`repro.runner` and reused by any later
+    run -- experiments, scenarios or benchmarks -- sharing the same inputs.
     """
-    cfg = config if config is not None else CaseStudyConfig()
-
-    scene = build_roof_scene(spec, dsm_pitch=cfg.dsm_pitch)
-    grid = make_roof_grid(scene, pitch=cfg.grid_pitch)
-    suitable = compute_suitable_area(
-        grid,
-        scene.obstacles,
-        SuitableAreaConfig(edge_setback_m=spec.edge_setback_m),
+    from ..runner.cache import StageCache
+    from ..runner.stages import (
+        cached_horizon_map,
+        cached_scene,
+        cached_solar_field,
+        cached_suitable_grid,
     )
-    grid = apply_suitable_area(grid, suitable)
+
+    cfg = config if config is not None else CaseStudyConfig()
+    stage_cache = cache if cache is not None else StageCache(enabled=False)
+
+    scene, _ = cached_scene(spec, cfg.dsm_pitch, stage_cache)
+    grid, _ = cached_suitable_grid(spec, scene, cfg.dsm_pitch, cfg.grid_pitch, stage_cache)
 
     if weather is None:
         weather_config = SyntheticWeatherConfig(seed=cfg.weather_seed)
         weather = generate_weather(cfg.time_grid(), weather_config)
 
-    horizon = compute_horizon_map(
-        scene.dsm.raster,
-        n_sectors=cfg.solar.n_horizon_sectors,
-        max_distance=cfg.solar.horizon_max_distance_m,
+    horizon, _ = cached_horizon_map(spec, scene, cfg.dsm_pitch, cfg.solar, stage_cache)
+    solar, _ = cached_solar_field(
+        spec,
+        scene,
+        grid,
+        weather,
+        cfg.solar,
+        cfg.dsm_pitch,
+        cfg.grid_pitch,
+        stage_cache,
+        horizon_map=horizon,
     )
-    solar = compute_roof_solar_field(scene, grid, weather, cfg.solar, horizon_map=horizon)
     return CaseStudy(
         name=spec.name,
         config=cfg,
         scene=scene,
-        grid=grid,
+        grid=solar.grid,
         weather=weather,
         solar=solar,
         horizon=horizon,
@@ -335,7 +341,9 @@ def prepare_case_study(
 
 
 def prepare_all_case_studies(
-    config: CaseStudyConfig | None = None, scale: float | None = None
+    config: CaseStudyConfig | None = None,
+    scale: float | None = None,
+    cache: "StageCache | None" = None,
 ) -> Dict[str, CaseStudy]:
     """Prepare the three case-study roofs sharing one weather trace."""
     cfg = config if config is not None else CaseStudyConfig()
@@ -343,5 +351,5 @@ def prepare_all_case_studies(
     weather = generate_weather(cfg.time_grid(), SyntheticWeatherConfig(seed=cfg.weather_seed))
     studies = {}
     for name, spec in case_study_specs(effective_scale).items():
-        studies[name] = prepare_case_study(spec, cfg, weather)
+        studies[name] = prepare_case_study(spec, cfg, weather, cache=cache)
     return studies

@@ -14,11 +14,12 @@ import time
 from dataclasses import dataclass
 from typing import List
 
-from ..core import default_topology, greedy_floorplan
+from ..core import default_topology
 from ..core.problem import FloorplanProblem
 from ..errors import ConfigurationError
 from ..gis import build_roof_scene, make_roof_grid, simple_residential_roof, suitable_grid_for_scene
 from ..pv.datasheet import PV_MF165EB3
+from ..runner.solvers import solve
 from ..solar import SolarSimulationConfig, TimeGrid, compute_roof_solar_field
 from ..weather import SyntheticWeatherConfig, generate_weather
 
@@ -41,11 +42,14 @@ def runtime_sweep(
     time_step_minutes: float = 120.0,
     day_stride: int = 30,
     seed: int = 3,
+    solver: str = "greedy",
 ) -> List[RuntimeSample]:
-    """Measure greedy placement runtime over roof sizes and module counts.
+    """Measure placement runtime over roof sizes and module counts.
 
     Small time grids are used on purpose: the sweep measures the *placement*
-    cost (which depends on Ng and N), not the solar simulation cost.
+    cost (which depends on Ng and N), not the solar simulation cost.  The
+    ``solver`` name selects any registered placement algorithm; the default
+    reproduces the paper's greedy sweep.
     """
     if not roof_widths_m or not module_counts:
         raise ConfigurationError("at least one roof width and module count are required")
@@ -82,7 +86,7 @@ def runtime_sweep(
                 datasheet=PV_MF165EB3,
                 label=f"runtime-{width:.0f}-{n_modules}",
             )
-            result = greedy_floorplan(problem)
+            result = solve(problem, solver)
             samples.append(
                 RuntimeSample(
                     roof_width_m=float(width),

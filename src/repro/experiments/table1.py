@@ -13,30 +13,30 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..analysis.report import Table1Report, Table1Row
-from ..core import (
-    FloorplanProblem,
-    GreedyResult,
-    TraditionalResult,
-    compare_placements,
-    default_topology,
-    greedy_floorplan,
-    traditional_floorplan,
-)
+from ..core import FloorplanProblem, compare_placements, default_topology
 from ..core.evaluation import PlacementComparison
 from ..errors import ConfigurationError
 from ..pv.datasheet import PV_MF165EB3, ModuleDatasheet
+from ..runner.solvers import SolverOutcome, solve
 from .roofs import CaseStudy, CaseStudyConfig, prepare_all_case_studies
 
 
 @dataclass(frozen=True)
 class Table1Config:
-    """Configuration of the Table I experiment."""
+    """Configuration of the Table I experiment.
+
+    ``solver`` selects the proposed placement algorithm by name in the
+    :mod:`repro.runner.solvers` registry (the paper's greedy by default);
+    the baseline is always the traditional compact placement.
+    """
 
     module_counts: tuple = (16, 32)
     series_length: int = 8
     datasheet: ModuleDatasheet = PV_MF165EB3
     case_study: CaseStudyConfig = field(default_factory=CaseStudyConfig)
     include_wiring_loss: bool = True
+    solver: str = "greedy"
+    solver_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.module_counts:
@@ -53,8 +53,8 @@ class Table1Entry:
     roof: str
     n_modules: int
     problem: FloorplanProblem
-    traditional: TraditionalResult
-    greedy: GreedyResult
+    traditional: SolverOutcome
+    greedy: SolverOutcome
     comparison: PlacementComparison
 
     @property
@@ -106,14 +106,19 @@ def run_configuration(
     n_modules: int,
     config: Table1Config,
 ) -> Table1Entry:
-    """Run traditional + greedy placement on one (roof, N) configuration."""
+    """Run the baseline + the configured solver on one (roof, N) configuration."""
     problem = build_problem(study, n_modules, config.series_length, config.datasheet)
-    traditional = traditional_floorplan(problem)
-    greedy = greedy_floorplan(problem, suitability=traditional.suitability)
+    traditional = solve(problem, "traditional")
+    proposed = solve(
+        problem,
+        config.solver,
+        config.solver_options,
+        suitability=traditional.suitability,
+    )
     comparison = compare_placements(
         problem,
         traditional.placement,
-        greedy.placement,
+        proposed.placement,
         include_wiring_loss=config.include_wiring_loss,
     )
     return Table1Entry(
@@ -121,7 +126,7 @@ def run_configuration(
         n_modules=n_modules,
         problem=problem,
         traditional=traditional,
-        greedy=greedy,
+        greedy=proposed,
         comparison=comparison,
     )
 

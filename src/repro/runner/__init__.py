@@ -1,0 +1,50 @@
+"""Cached staged pipeline, solver registry, and parallel batch execution."""
+
+from .batch import BatchResult, read_results_jsonl, run_batch, write_results_jsonl
+from .cache import CacheStats, StageCache, content_digest, default_cache_dir, resolve_cache
+from .solvers import (
+    SolverOutcome,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solve,
+)
+from .stages import (
+    ScenarioResult,
+    cached_horizon_map,
+    cached_scene,
+    cached_solar_field,
+    cached_suitability,
+    cached_suitable_grid,
+    prepare_problem,
+    run_scenario,
+    solar_config_payload,
+    weather_content_key,
+)
+
+__all__ = [
+    "BatchResult",
+    "read_results_jsonl",
+    "run_batch",
+    "write_results_jsonl",
+    "CacheStats",
+    "StageCache",
+    "content_digest",
+    "default_cache_dir",
+    "resolve_cache",
+    "SolverOutcome",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "solve",
+    "ScenarioResult",
+    "cached_horizon_map",
+    "cached_scene",
+    "cached_solar_field",
+    "cached_suitability",
+    "cached_suitable_grid",
+    "prepare_problem",
+    "run_scenario",
+    "solar_config_payload",
+    "weather_content_key",
+]

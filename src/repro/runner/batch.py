@@ -1,0 +1,176 @@
+"""Parallel batch execution of scenario fleets.
+
+The batch runner executes a list of :class:`~repro.scenario.ScenarioSpec`
+in a :class:`~concurrent.futures.ProcessPoolExecutor` and appends one JSON
+record per scenario to a JSONL results store.  Scenarios are shipped to the
+workers in their declarative dictionary form (no heavyweight pickling), and
+every worker shares the same on-disk stage cache: the first scenario that
+needs a given solar field computes and publishes it, all later scenarios --
+in this run or the next -- hit the cache.  Results are returned in input
+order regardless of completion order, and all scenario inputs are seeded,
+so a parallel batch is bit-for-bit identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..scenario.spec import ScenarioSpec
+from .cache import PathLike, StageCache, resolve_cache
+from .stages import ScenarioResult, run_scenario
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch run."""
+
+    results: List[ScenarioResult]
+    runtime_s: float
+    jobs: int
+    results_path: Optional[Path] = None
+    cache_dir: Optional[Path] = None
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of scenarios executed."""
+        return len(self.results)
+
+    def by_name(self) -> Dict[str, ScenarioResult]:
+        """Results keyed by scenario name."""
+        return {result.scenario: result for result in self.results}
+
+    def cache_hit_counts(self) -> Dict[str, int]:
+        """Per-stage count of scenarios served from the cache."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            for stage, hit in result.stage_cached.items():
+                counts[stage] = counts.get(stage, 0) + (1 if hit else 0)
+        return counts
+
+    def summary(self) -> dict:
+        """Aggregate figures for reports and the CLI."""
+        return {
+            "n_scenarios": self.n_scenarios,
+            "jobs": self.jobs,
+            "runtime_s": self.runtime_s,
+            "total_energy_mwh": sum(r.annual_energy_mwh for r in self.results),
+            "cache_hits_by_stage": self.cache_hit_counts(),
+            "results_path": None if self.results_path is None else str(self.results_path),
+        }
+
+
+def _run_scenario_worker(args: tuple) -> dict:
+    """Process-pool entry point: rebuild the spec, run it, return a record."""
+    spec_dict, cache_dir, use_cache = args
+    spec = ScenarioSpec.from_dict(spec_dict)
+    cache = StageCache(root=Path(cache_dir), enabled=use_cache) if cache_dir else None
+    result = run_scenario(spec, cache=cache, use_cache=use_cache)
+    return result.to_dict()
+
+
+def run_batch(
+    specs: Sequence[ScenarioSpec],
+    cache: Union[StageCache, PathLike, None] = None,
+    jobs: Optional[int] = None,
+    results_path: Optional[PathLike] = None,
+    use_cache: bool = True,
+    parallel: bool = True,
+) -> BatchResult:
+    """Execute a scenario fleet, optionally in parallel, and store results.
+
+    Parameters
+    ----------
+    specs:
+        The scenarios to run.  Names must be unique (they key the store).
+    cache:
+        Stage cache handle or directory shared by every worker.
+    jobs:
+        Worker-process count; defaults to ``min(len(specs), cpu_count)``.
+        ``1`` (or ``parallel=False``) runs serially in-process.
+    results_path:
+        When given, one JSON record per scenario is written there (JSONL).
+    use_cache:
+        Set False to bypass the stage cache entirely.
+    parallel:
+        Convenience switch for forcing serial execution.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ConfigurationError("a batch needs at least one scenario")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("scenario names within a batch must be unique")
+
+    stage_cache = resolve_cache(cache, enabled=use_cache)
+    # Workers reconstruct their cache handle from (dir, flag); the effective
+    # flag honours both the handle's own state and the use_cache argument so
+    # a disabled handle can never resurrect as an enabled default-dir cache.
+    use_cache = stage_cache.enabled
+    cache_dir = str(stage_cache.root) if use_cache else None
+
+    if jobs is None:
+        jobs = min(len(specs), os.cpu_count() or 1)
+    jobs = max(1, int(jobs))
+    if not parallel:
+        jobs = 1
+
+    start = time.perf_counter()
+    if jobs == 1:
+        records = [
+            run_scenario(spec, cache=stage_cache, use_cache=use_cache).to_dict()
+            for spec in specs
+        ]
+    else:
+        work = [(spec.to_dict(), cache_dir, use_cache) for spec in specs]
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            records = list(executor.map(_run_scenario_worker, work))
+    runtime = time.perf_counter() - start
+
+    results = [ScenarioResult.from_dict(record) for record in records]
+
+    path: Optional[Path] = None
+    if results_path is not None:
+        path = Path(results_path)
+        write_results_jsonl(results, path)
+
+    return BatchResult(
+        results=results,
+        runtime_s=runtime,
+        jobs=jobs,
+        results_path=path,
+        cache_dir=stage_cache.root if stage_cache.enabled else None,
+    )
+
+
+def write_results_jsonl(results: Sequence[ScenarioResult], path: PathLike) -> None:
+    """Write one JSON record per scenario result (JSONL store)."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+
+
+def read_results_jsonl(path: PathLike) -> List[ScenarioResult]:
+    """Read a JSONL results store back into :class:`ScenarioResult` objects."""
+    results: List[ScenarioResult] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                results.append(ScenarioResult.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed results record at {path}:{line_number}: {exc}"
+                ) from exc
+    return results

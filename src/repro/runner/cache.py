@@ -1,0 +1,206 @@
+"""Content-hash disk cache for expensive pipeline stages.
+
+The irradiance simulation dominates the pipeline's runtime, and many
+workloads (fleet variants sharing a roof, solver sweeps, repeated CLI runs)
+recompute identical intermediate state.  The :class:`StageCache` memoises
+stage outputs on disk, keyed by a SHA-256 digest of a *content payload*: the
+canonical JSON form of every input that influences the stage's result.  Two
+runs -- in the same process, in parallel worker processes, or days apart --
+that hash to the same payload share the cached artefact; any change to the
+roof, weather, time base or model options changes the digest and invalidates
+the entry automatically (there is no explicit invalidation protocol).
+
+Entries are pickled because stage outputs are numpy-laden simulation objects.
+Writes go through a temporary file followed by an atomic ``os.replace`` so
+concurrent batch workers never observe half-written entries; a corrupt or
+unreadable entry is treated as a miss and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to orphan every existing entry when the on-disk format changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding used for content hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_coerce)
+
+
+def _coerce(value: Any) -> Any:
+    """Fallback encoder for payload values json cannot natively encode."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    raise TypeError(f"payload value {value!r} is not content-hashable")
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 hex digest of a content payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`StageCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class StageCache:
+    """A directory-backed, content-addressed store of pickled stage outputs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  Defaults to
+        :func:`default_cache_dir`.
+    enabled:
+        When False every lookup misses and nothing is written; lets callers
+        thread one cache handle through the pipeline and switch caching off
+        with a flag (the CLI's ``--no-cache``).
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- key handling -------------------------------------------------------------
+
+    def path_for(self, stage: str, payload: Any) -> Path:
+        """On-disk location of the entry for ``payload`` under ``stage``."""
+        if not stage or any(sep in stage for sep in "/\\"):
+            raise ConfigurationError(f"invalid cache stage name {stage!r}")
+        digest = content_digest({"format": CACHE_FORMAT_VERSION, "payload": payload})
+        return self.root / stage / f"{digest}.pkl"
+
+    # -- lookup / store -----------------------------------------------------------
+
+    def get(self, stage: str, payload: Any) -> Tuple[Any, bool]:
+        """Look up a stage result.  Returns ``(value, hit)``."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None, False
+        path = self.path_for(stage, payload)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self.stats.misses += 1
+            return None, False
+        self.stats.hits += 1
+        return value, True
+
+    def put(self, stage: str, payload: Any, value: Any) -> None:
+        """Store a stage result atomically (no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self.path_for(stage, payload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def get_or_compute(
+        self, stage: str, payload: Any, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Return the cached value or compute-and-store it.
+
+        Returns ``(value, hit)`` where ``hit`` tells whether the value came
+        from the cache.
+        """
+        value, hit = self.get(stage, payload)
+        if hit:
+            return value, True
+        value = compute()
+        self.put(stage, payload, value)
+        return value, False
+
+    # -- maintenance --------------------------------------------------------------
+
+    def clear(self, stage: Optional[str] = None) -> int:
+        """Delete cached entries (one stage or everything); returns the count."""
+        base = self.root / stage if stage else self.root
+        removed = 0
+        if not base.exists():
+            return removed
+        for path in sorted(base.rglob("*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of entries currently stored."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+
+def resolve_cache(
+    cache: Union[StageCache, PathLike, None], enabled: bool = True
+) -> StageCache:
+    """Normalise the cache argument accepted by runner entry points.
+
+    ``None`` means the default location; a path means a cache rooted there.
+    An existing :class:`StageCache` is passed through unless ``enabled`` is
+    False, in which case a disabled view of the same root is returned --
+    either the handle's own flag or the caller's ``use_cache=False`` can
+    switch caching off, and neither can override the other's opt-out.
+    """
+    if isinstance(cache, StageCache):
+        if cache.enabled and not enabled:
+            return StageCache(root=cache.root, enabled=False, stats=cache.stats)
+        return cache
+    if cache is None:
+        return StageCache(enabled=enabled)
+    return StageCache(root=Path(cache), enabled=enabled)

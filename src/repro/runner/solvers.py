@@ -1,0 +1,176 @@
+"""Solver registry: every floorplanning algorithm selectable by name.
+
+The seed code base hardcoded the greedy-vs-traditional pair in
+:func:`repro.plan_roof` and in the experiment drivers.  The registry makes
+all four placement algorithms (and any future one registered through
+:func:`register_solver`) addressable by a plain string, which is what the
+scenario specifications, the batch runner, the CLI and the experiment
+drivers use to select a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..core.exhaustive import ExhaustiveConfig, exhaustive_floorplan
+from ..core.greedy import GreedyConfig, greedy_floorplan
+from ..core.ilp import ILPConfig, ilp_floorplan
+from ..core.placement import Placement
+from ..core.problem import FloorplanProblem
+from ..core.suitability import SuitabilityMap
+from ..core.traditional import TraditionalConfig, traditional_floorplan
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SolverOutcome:
+    """Normalised result of any registered solver.
+
+    Solver-specific figures (``strategy``, ``relaxed_threshold_count``,
+    ``objective_value``, ...) live in :attr:`info`; they are also reachable
+    as plain attributes for compatibility with the per-solver result types
+    (``GreedyResult``, ``TraditionalResult``, ...) this class replaced at
+    the ``plan_roof`` / experiment-driver level.
+    """
+
+    solver: str
+    placement: Placement
+    suitability: Optional[SuitabilityMap]
+    runtime_s: float
+    info: Dict[str, Any]
+
+    def __getattr__(self, name: str) -> Any:
+        info = object.__getattribute__(self, "info")
+        if name in info:
+            return info[name]
+        raise AttributeError(
+            f"{type(self).__name__} from solver "
+            f"{object.__getattribute__(self, 'solver')!r} has no attribute {name!r}"
+        )
+
+
+#: A solver adapter: problem + options (+ an optional precomputed
+#: suitability map to share across solvers) -> normalised outcome.
+SolverFn = Callable[
+    [FloorplanProblem, Mapping[str, Any], Optional[SuitabilityMap]], SolverOutcome
+]
+
+_REGISTRY: Dict[str, SolverFn] = {}
+
+
+def register_solver(name: str, solver: SolverFn, overwrite: bool = False) -> None:
+    """Register a solver adapter under ``name`` (lower-cased)."""
+    key = name.lower()
+    if not key:
+        raise ConfigurationError("solver name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"solver {name!r} is already registered")
+    _REGISTRY[key] = solver
+
+
+def get_solver(name: str) -> SolverFn:
+    """Look up a registered solver adapter."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown solver {name!r}; known: {known}") from exc
+
+
+def available_solvers() -> list:
+    """Names of the registered solvers, sorted."""
+    return sorted(_REGISTRY)
+
+
+def solve(
+    problem: FloorplanProblem,
+    solver: str = "greedy",
+    options: Optional[Mapping[str, Any]] = None,
+    suitability: Optional[SuitabilityMap] = None,
+) -> SolverOutcome:
+    """Run the named solver on a problem instance."""
+    return get_solver(solver)(problem, dict(options or {}), suitability)
+
+
+def _build_config(config_cls, options: Mapping[str, Any], solver: str):
+    try:
+        return config_cls(**dict(options))
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid options for solver {solver!r}: {exc}") from exc
+
+
+def _greedy(
+    problem: FloorplanProblem,
+    options: Mapping[str, Any],
+    suitability: Optional[SuitabilityMap],
+) -> SolverOutcome:
+    config = _build_config(GreedyConfig, options, "greedy")
+    result = greedy_floorplan(problem, suitability=suitability, config=config)
+    return SolverOutcome(
+        solver="greedy",
+        placement=result.placement,
+        suitability=result.suitability,
+        runtime_s=result.runtime_s,
+        info={"relaxed_threshold_count": result.relaxed_threshold_count},
+    )
+
+
+def _traditional(
+    problem: FloorplanProblem,
+    options: Mapping[str, Any],
+    suitability: Optional[SuitabilityMap],
+) -> SolverOutcome:
+    config = _build_config(TraditionalConfig, options, "traditional")
+    result = traditional_floorplan(problem, suitability=suitability, config=config)
+    return SolverOutcome(
+        solver="traditional",
+        placement=result.placement,
+        suitability=result.suitability,
+        runtime_s=result.runtime_s,
+        info={"strategy": result.strategy},
+    )
+
+
+def _ilp(
+    problem: FloorplanProblem,
+    options: Mapping[str, Any],
+    suitability: Optional[SuitabilityMap],
+) -> SolverOutcome:
+    config = _build_config(ILPConfig, options, "ilp")
+    result = ilp_floorplan(problem, suitability=suitability, config=config)
+    return SolverOutcome(
+        solver="ilp",
+        placement=result.placement,
+        suitability=result.suitability,
+        runtime_s=result.runtime_s,
+        info={
+            "objective_value": result.objective_value,
+            "solver_status": result.solver_status,
+        },
+    )
+
+
+def _exhaustive(
+    problem: FloorplanProblem,
+    options: Mapping[str, Any],
+    suitability: Optional[SuitabilityMap],
+) -> SolverOutcome:
+    config = _build_config(ExhaustiveConfig, options, "exhaustive")
+    result = exhaustive_floorplan(problem, config=config)
+    return SolverOutcome(
+        solver="exhaustive",
+        placement=result.placement,
+        suitability=suitability,
+        runtime_s=result.runtime_s,
+        info={
+            "best_energy_wh": result.best_energy_wh,
+            "n_combinations_evaluated": result.n_combinations_evaluated,
+        },
+    )
+
+
+register_solver("greedy", _greedy)
+register_solver("traditional", _traditional)
+register_solver("ilp", _ilp)
+register_solver("exhaustive", _exhaustive)

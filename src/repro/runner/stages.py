@@ -1,0 +1,455 @@
+"""Staged, cache-aware execution of the end-to-end pipeline.
+
+The pipeline is decomposed into the paper's stages --
+
+    scene (DSM rasterisation)
+      -> grid (virtual grid + suitable area)
+      -> solar field (spatio-temporal irradiance; the dominant cost)
+      -> suitability (per-cell placement metric)
+      -> placement (solver registry)
+      -> evaluation (series/parallel energy model + baseline comparison)
+
+-- with the expensive stages memoised in a :class:`~repro.runner.cache.StageCache`
+keyed by content hashes of the declarative inputs.  Scenario variants that
+share a roof/weather/time base therefore skip straight to the placement
+stage, and re-runs of a whole batch are dominated by the (cheap) solver and
+evaluation work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import FloorplanProblem, default_topology
+from ..core.evaluation import PlacementComparison, compare_placements
+from ..core.suitability import SuitabilityConfig, SuitabilityMap, compute_suitability
+from ..errors import ConfigurationError
+from ..gis.gridding import RoofGrid, make_roof_grid
+from ..gis.suitable_area import suitable_grid_for_scene
+from ..gis.synthetic import RoofScene, RoofSpec, build_roof_scene
+from ..io.placement_json import placement_to_dict
+from ..pv.datasheet import ModuleDatasheet
+from ..scenario.spec import (
+    ScenarioSpec,
+    grid_content_payload,
+    scene_content_payload,
+)
+from ..solar.irradiance_map import RoofSolarField, SolarSimulationConfig, compute_roof_solar_field
+from ..solar.shading import HorizonMap, compute_horizon_map
+from ..solar.time_series import TimeGrid
+from ..weather.records import WeatherSeries
+from .cache import StageCache, resolve_cache
+from .solvers import SolverOutcome, solve
+
+#: Stage names used both as cache sub-directories and as keys of the
+#: per-scenario ``stage_cached`` provenance map.
+STAGE_SCENE = "scene"
+STAGE_GRID = "grid"
+STAGE_SOLAR = "solar"
+STAGE_SUITABILITY = "suitability"
+STAGE_HORIZON = "horizon"
+
+
+# ---------------------------------------------------------------------------
+# Content payloads for non-declarative inputs
+# ---------------------------------------------------------------------------
+
+
+def solar_config_payload(config: SolarSimulationConfig) -> dict:
+    """Content payload of a materialised :class:`SolarSimulationConfig`."""
+    return {
+        "sky_model": config.sky_model,
+        "decomposition_model": config.decomposition_model,
+        "albedo": config.albedo,
+        "linke_turbidity": list(config.linke_turbidity.monthly_values),
+        "n_horizon_sectors": config.n_horizon_sectors,
+        "horizon_max_distance_m": config.horizon_max_distance_m,
+        "store_dtype": config.store_dtype,
+    }
+
+
+def weather_content_key(weather: WeatherSeries) -> str:
+    """Content digest of a materialised weather series.
+
+    Declarative scenarios hash their :class:`WeatherSpec`; entry points that
+    accept an arbitrary :class:`WeatherSeries` (``plan_roof``, the case-study
+    drivers) hash the actual arrays instead, so caching stays correct no
+    matter where the weather came from.
+    """
+    digest = hashlib.sha256()
+    grid = weather.time_grid
+    digest.update(f"{grid.step_minutes}:{grid.day_stride}".encode())
+    station = weather.station
+    digest.update(
+        f"{station.name}:{station.latitude_deg}:{station.longitude_deg}:"
+        f"{station.altitude_m}".encode()
+    )
+    for name in ("ghi", "temperature", "dni", "dhi"):
+        array = getattr(weather, name)
+        digest.update(name.encode())
+        if array is not None:
+            digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Cached stage helpers (object-level; shared by scenarios and plan_roof)
+# ---------------------------------------------------------------------------
+
+
+def cached_scene(
+    roof: RoofSpec, dsm_pitch: float, cache: StageCache
+) -> Tuple[RoofScene, bool]:
+    """Rasterise the roof scene, reusing a cached DSM when available."""
+    return cache.get_or_compute(
+        STAGE_SCENE,
+        scene_content_payload(roof, dsm_pitch),
+        lambda: build_roof_scene(roof, dsm_pitch=dsm_pitch),
+    )
+
+
+def cached_suitable_grid(
+    roof: RoofSpec, scene: RoofScene, dsm_pitch: float, grid_pitch: float, cache: StageCache
+) -> Tuple[RoofGrid, bool]:
+    """Build the suitable-area virtual grid, cached on roof + pitches."""
+
+    def compute() -> RoofGrid:
+        grid = make_roof_grid(scene, pitch=grid_pitch)
+        return suitable_grid_for_scene(scene, grid)
+
+    return cache.get_or_compute(
+        STAGE_GRID, grid_content_payload(roof, dsm_pitch, grid_pitch), compute
+    )
+
+
+def cached_horizon_map(
+    roof: RoofSpec,
+    scene: RoofScene,
+    dsm_pitch: float,
+    config: SolarSimulationConfig,
+    cache: StageCache,
+) -> Tuple[HorizonMap, bool]:
+    """DSM horizon map (the dominant cost inside the solar stage)."""
+    payload = {
+        "stage": STAGE_HORIZON,
+        "scene": scene_content_payload(roof, dsm_pitch),
+        "n_sectors": config.n_horizon_sectors,
+        "max_distance_m": config.horizon_max_distance_m,
+    }
+    return cache.get_or_compute(
+        STAGE_HORIZON,
+        payload,
+        lambda: compute_horizon_map(
+            scene.dsm.raster,
+            n_sectors=config.n_horizon_sectors,
+            max_distance=config.horizon_max_distance_m,
+        ),
+    )
+
+
+def cached_solar_field(
+    roof: RoofSpec,
+    scene: RoofScene,
+    grid: RoofGrid,
+    weather: WeatherSeries,
+    config: SolarSimulationConfig,
+    dsm_pitch: float,
+    grid_pitch: float,
+    cache: StageCache,
+    weather_key: Optional[str] = None,
+    horizon_map: Optional[HorizonMap] = None,
+) -> Tuple[RoofSolarField, bool]:
+    """Spatio-temporal irradiance field, cached on every influencing input.
+
+    ``horizon_map`` is forwarded to the underlying simulation on a cache
+    miss, so callers that already hold the (cached) horizon map do not pay
+    for it twice; it does not participate in the content key because it is
+    itself derived from the scene + config inputs that do.
+    """
+    payload = {
+        "stage": STAGE_SOLAR,
+        "grid": grid_content_payload(roof, dsm_pitch, grid_pitch),
+        "weather": weather_key if weather_key is not None else weather_content_key(weather),
+        "solar": solar_config_payload(config),
+    }
+    return cache.get_or_compute(
+        STAGE_SOLAR,
+        payload,
+        lambda: compute_roof_solar_field(scene, grid, weather, config, horizon_map=horizon_map),
+    )
+
+
+def cached_suitability(
+    problem: FloorplanProblem, solar_payload_key: Mapping[str, Any], cache: StageCache
+) -> Tuple[SuitabilityMap, bool]:
+    """Per-cell suitability metric, cached on the solar key + module + percentile.
+
+    The full datasheet participates in the key (not just the module name):
+    the metric's temperature correction depends on the module's electrical
+    parameters, and inline scenario modules may share a name.
+    """
+    payload = {
+        "stage": STAGE_SUITABILITY,
+        "solar": dict(solar_payload_key),
+        "module": dataclasses.asdict(problem.datasheet),
+        "percentile": problem.suitability_percentile,
+    }
+    return cache.get_or_compute(
+        STAGE_SUITABILITY,
+        payload,
+        lambda: compute_suitability(
+            problem.solar,
+            SuitabilityConfig(percentile=problem.suitability_percentile),
+            problem.module_model,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Problem preparation shared by plan_roof and the scenario runner
+# ---------------------------------------------------------------------------
+
+
+def prepare_problem(
+    roof: RoofSpec,
+    n_modules: int,
+    n_series: Optional[int] = None,
+    datasheet: Optional[ModuleDatasheet] = None,
+    grid_pitch: float = 0.2,
+    dsm_pitch: float = 0.4,
+    time_grid: Optional[TimeGrid] = None,
+    weather: Optional[WeatherSeries] = None,
+    weather_seed: int = 0,
+    solar_config: Optional[SolarSimulationConfig] = None,
+    cache: Optional[StageCache] = None,
+    allow_rotation: bool = False,
+    label: Optional[str] = None,
+) -> Tuple[FloorplanProblem, Dict[str, bool], WeatherSeries]:
+    """Run the data-extraction stages and assemble a floorplanning problem.
+
+    Returns ``(problem, stage_cached, weather)`` where ``stage_cached`` maps
+    stage names to whether the disk cache supplied them.
+    """
+    from ..pv.datasheet import PV_MF165EB3
+    from ..weather.synthetic import SyntheticWeatherConfig, generate_weather
+
+    sheet = datasheet if datasheet is not None else PV_MF165EB3
+    solar_cfg = solar_config if solar_config is not None else SolarSimulationConfig()
+    stage_cache = resolve_cache(cache) if cache is not None else StageCache(enabled=False)
+
+    if weather is not None:
+        # The weather series carries its own sampling; an explicitly passed
+        # time grid must agree with it.
+        if time_grid is not None and time_grid.n_samples != weather.time_grid.n_samples:
+            raise ConfigurationError(
+                "the provided weather series and time grid disagree on sample count"
+            )
+        series = weather
+    else:
+        grid_time = (
+            time_grid if time_grid is not None else TimeGrid(step_minutes=60.0, day_stride=7)
+        )
+        series = generate_weather(grid_time, SyntheticWeatherConfig(seed=weather_seed))
+
+    stage_cached: Dict[str, bool] = {}
+    scene, stage_cached[STAGE_SCENE] = cached_scene(roof, dsm_pitch, stage_cache)
+    grid, stage_cached[STAGE_GRID] = cached_suitable_grid(
+        roof, scene, dsm_pitch, grid_pitch, stage_cache
+    )
+    solar, stage_cached[STAGE_SOLAR] = cached_solar_field(
+        roof, scene, grid, series, solar_cfg, dsm_pitch, grid_pitch, stage_cache
+    )
+
+    series_length = n_series if n_series is not None else min(8, n_modules)
+    topology = default_topology(n_modules, series_length)
+    problem = FloorplanProblem(
+        grid=solar.grid,
+        solar=solar,
+        n_modules=n_modules,
+        topology=topology,
+        datasheet=sheet,
+        allow_rotation=allow_rotation,
+        label=label if label is not None else roof.name,
+    )
+    return problem, stage_cached, series
+
+
+# ---------------------------------------------------------------------------
+# Scenario execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """Flat, JSONL-serialisable outcome of one scenario run."""
+
+    scenario: str
+    solver: str
+    n_modules: int
+    n_valid_cells: int
+    annual_energy_mwh: float
+    baseline_energy_mwh: float
+    improvement_percent: float
+    wiring_extra_length_m: float
+    capacity_factor: float
+    runtime_s: float
+    stage_cached: Dict[str, bool] = field(default_factory=dict)
+    solver_info: Dict[str, Any] = field(default_factory=dict)
+    placement: Dict[str, Any] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (one JSONL line)."""
+        return {
+            "scenario": self.scenario,
+            "solver": self.solver,
+            "n_modules": self.n_modules,
+            "n_valid_cells": self.n_valid_cells,
+            "annual_energy_mwh": self.annual_energy_mwh,
+            "baseline_energy_mwh": self.baseline_energy_mwh,
+            "improvement_percent": self.improvement_percent,
+            "wiring_extra_length_m": self.wiring_extra_length_m,
+            "capacity_factor": self.capacity_factor,
+            "runtime_s": self.runtime_s,
+            "stage_cached": dict(self.stage_cached),
+            "solver_info": dict(self.solver_info),
+            "placement": dict(self.placement),
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(
+            scenario=str(data["scenario"]),
+            solver=str(data["solver"]),
+            n_modules=int(data["n_modules"]),
+            n_valid_cells=int(data["n_valid_cells"]),
+            annual_energy_mwh=float(data["annual_energy_mwh"]),
+            baseline_energy_mwh=float(data["baseline_energy_mwh"]),
+            improvement_percent=float(data["improvement_percent"]),
+            wiring_extra_length_m=float(data["wiring_extra_length_m"]),
+            capacity_factor=float(data["capacity_factor"]),
+            runtime_s=float(data["runtime_s"]),
+            stage_cached=dict(data.get("stage_cached", {})),
+            solver_info=dict(data.get("solver_info", {})),
+            placement=dict(data.get("placement", {})),
+            tags=tuple(data.get("tags", [])),
+        )
+
+    def fingerprint(self) -> dict:
+        """Deterministic subset of the result (no runtimes, no cache state).
+
+        Two runs of the same scenario -- serial or parallel, cold or warm
+        cache -- must produce identical fingerprints; the determinism tests
+        and the batch runner's integrity checks rely on this.
+        """
+        placement = dict(self.placement)
+        placement.pop("metadata", None)
+        return {
+            "scenario": self.scenario,
+            "solver": self.solver,
+            "n_modules": self.n_modules,
+            "n_valid_cells": self.n_valid_cells,
+            "annual_energy_mwh": self.annual_energy_mwh,
+            "baseline_energy_mwh": self.baseline_energy_mwh,
+            "improvement_percent": self.improvement_percent,
+            "wiring_extra_length_m": self.wiring_extra_length_m,
+            "placement": placement,
+        }
+
+    def report(self) -> str:
+        """Short human-readable summary line."""
+        cached = [name for name, hit in self.stage_cached.items() if hit]
+        cache_note = f" [cached: {', '.join(cached)}]" if cached else ""
+        return (
+            f"{self.scenario}: solver={self.solver} N={self.n_modules} "
+            f"Ng={self.n_valid_cells} energy={self.annual_energy_mwh:.3f} MWh/y "
+            f"(baseline {self.baseline_energy_mwh:.3f}, "
+            f"{self.improvement_percent:+.2f} %) in {self.runtime_s:.2f}s{cache_note}"
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    cache: Optional[StageCache] = None,
+    use_cache: bool = True,
+) -> ScenarioResult:
+    """Execute one scenario through the staged pipeline.
+
+    Parameters
+    ----------
+    spec:
+        The declarative scenario.
+    cache:
+        Stage cache handle (or None for the default location).
+    use_cache:
+        Set False to force recomputation of every stage (the handle's own
+        ``enabled`` flag also applies when a :class:`StageCache` is passed).
+    """
+    start = time.perf_counter()
+    stage_cache = resolve_cache(cache, enabled=use_cache)
+    stage_cached: Dict[str, bool] = {}
+
+    scene, stage_cached[STAGE_SCENE] = cached_scene(spec.roof, spec.dsm_pitch, stage_cache)
+    grid, stage_cached[STAGE_GRID] = cached_suitable_grid(
+        spec.roof, scene, spec.dsm_pitch, spec.grid_pitch, stage_cache
+    )
+
+    time_grid = spec.time.build()
+    weather = spec.weather.build(time_grid)
+    solar_cfg = spec.solar.build()
+
+    solar_payload = spec.solar_payload()
+    solar, stage_cached[STAGE_SOLAR] = stage_cache.get_or_compute(
+        STAGE_SOLAR,
+        solar_payload,
+        lambda: compute_roof_solar_field(scene, grid, weather, solar_cfg),
+    )
+
+    topology = default_topology(spec.n_modules, spec.series_length())
+    problem = FloorplanProblem(
+        grid=solar.grid,
+        solar=solar,
+        n_modules=spec.n_modules,
+        topology=topology,
+        datasheet=spec.datasheet(),
+        allow_rotation=spec.allow_rotation,
+        label=spec.name,
+    )
+
+    suitability, stage_cached[STAGE_SUITABILITY] = cached_suitability(
+        problem, solar_payload, stage_cache
+    )
+
+    outcome = solve(problem, spec.solver.name, spec.solver.options, suitability)
+    if spec.solver.name == "traditional" and not spec.solver.options:
+        baseline: SolverOutcome = outcome
+    else:
+        baseline = solve(problem, "traditional", {}, suitability)
+    comparison: PlacementComparison = compare_placements(
+        problem, baseline.placement, outcome.placement
+    )
+
+    runtime = time.perf_counter() - start
+    return ScenarioResult(
+        scenario=spec.name,
+        solver=spec.solver.name,
+        n_modules=spec.n_modules,
+        n_valid_cells=problem.grid.n_valid,
+        annual_energy_mwh=comparison.candidate.annual_energy_mwh,
+        baseline_energy_mwh=comparison.baseline.annual_energy_mwh,
+        improvement_percent=comparison.improvement_percent,
+        wiring_extra_length_m=comparison.candidate.wiring_extra_length_m,
+        capacity_factor=comparison.candidate.capacity_factor,
+        runtime_s=runtime,
+        stage_cached=stage_cached,
+        solver_info=dict(outcome.info),
+        placement=placement_to_dict(outcome.placement),
+        tags=spec.tags,
+    )

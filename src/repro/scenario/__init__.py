@@ -1,0 +1,27 @@
+"""Declarative scenario catalog: JSON-round-trippable pipeline specifications."""
+
+from .catalog import builtin_scenarios, get_scenario, scenario_names
+from .spec import (
+    SCENARIO_FORMAT_VERSION,
+    ScenarioSpec,
+    SolarSpec,
+    SolverSpec,
+    TimeSpec,
+    WeatherSpec,
+    roof_spec_from_dict,
+    roof_spec_to_dict,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "ScenarioSpec",
+    "SolarSpec",
+    "SolverSpec",
+    "TimeSpec",
+    "WeatherSpec",
+    "roof_spec_from_dict",
+    "roof_spec_to_dict",
+    "builtin_scenarios",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,504 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures *everything* one end-to-end run of the
+pipeline needs -- the roof, the module datasheet, the weather and time
+configuration, the irradiance-model options and the solver choice -- as a
+plain, JSON-round-trippable document.  The declarative form serves three
+purposes:
+
+* scenarios can be stored, versioned and shared as small JSON files (the
+  pvlib-style "site spec" idiom);
+* the batch runner can ship scenarios to worker processes without pickling
+  heavyweight simulation objects;
+* every pipeline stage derives a *content key* from the relevant slice of
+  the specification, which is what makes the disk cache of
+  :mod:`repro.runner` correct: two scenarios sharing a roof, weather and
+  time base hash to the same solar-field key and reuse each other's
+  expensive intermediate results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from ..constants import DEFAULT_GRID_PITCH, TURIN_LATITUDE, TURIN_LONGITUDE
+from ..errors import ConfigurationError
+from ..geometry import Point2D, Polygon
+from ..gis.dsm import ObstacleFootprint
+from ..gis.synthetic import AdjacentStructure, RoofSpec
+from ..pv.datasheet import DATASHEETS, ModuleDatasheet, get_datasheet
+from ..solar.irradiance_map import SolarSimulationConfig
+from ..solar.linke import LinkeTurbidityProfile
+from ..solar.time_series import TimeGrid
+from ..weather.records import StationMetadata, WeatherSeries
+from ..weather.synthetic import (
+    SyntheticWeatherConfig,
+    generate_clearsky_weather,
+    generate_weather,
+    scale_weather,
+)
+
+PathLike = Union[str, Path]
+
+#: Version stamp embedded in serialised scenarios (bump on breaking changes).
+SCENARIO_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Roof (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def _polygon_to_list(polygon: Polygon) -> list:
+    return [[float(v.x), float(v.y)] for v in polygon.vertices]
+
+
+def _polygon_from_list(vertices: list) -> Polygon:
+    return Polygon([Point2D(float(u), float(v)) for u, v in vertices])
+
+
+def roof_spec_to_dict(spec: RoofSpec) -> dict:
+    """Convert a :class:`~repro.gis.RoofSpec` into a JSON-serialisable dict."""
+    return {
+        "name": spec.name,
+        "width_m": spec.width_m,
+        "depth_m": spec.depth_m,
+        "tilt_deg": spec.tilt_deg,
+        "azimuth_deg": spec.azimuth_deg,
+        "eave_height_m": spec.eave_height_m,
+        "edge_setback_m": spec.edge_setback_m,
+        "obstacles": [
+            {
+                "name": obstacle.name,
+                "vertices": _polygon_to_list(obstacle.polygon),
+                "height_m": obstacle.height_m,
+                "clearance_m": obstacle.clearance_m,
+            }
+            for obstacle in spec.obstacles
+        ],
+        "adjacent_structures": [
+            {
+                "name": structure.name,
+                "vertices": _polygon_to_list(structure.polygon),
+                "height_m": structure.height_m,
+            }
+            for structure in spec.adjacent_structures
+        ],
+        "surface_roughness_m": spec.surface_roughness_m,
+        "roughness_correlation_m": spec.roughness_correlation_m,
+        "roughness_seed": spec.roughness_seed,
+    }
+
+
+def roof_spec_from_dict(data: Mapping[str, Any]) -> RoofSpec:
+    """Rebuild a :class:`~repro.gis.RoofSpec` from its dictionary form."""
+    try:
+        return RoofSpec(
+            name=str(data["name"]),
+            width_m=float(data["width_m"]),
+            depth_m=float(data["depth_m"]),
+            tilt_deg=float(data["tilt_deg"]),
+            azimuth_deg=float(data["azimuth_deg"]),
+            eave_height_m=float(data.get("eave_height_m", 6.0)),
+            edge_setback_m=float(data.get("edge_setback_m", 0.4)),
+            obstacles=tuple(
+                ObstacleFootprint(
+                    name=str(entry["name"]),
+                    polygon=_polygon_from_list(entry["vertices"]),
+                    height_m=float(entry["height_m"]),
+                    clearance_m=float(entry.get("clearance_m", 0.2)),
+                )
+                for entry in data.get("obstacles", [])
+            ),
+            adjacent_structures=tuple(
+                AdjacentStructure(
+                    name=str(entry["name"]),
+                    polygon=_polygon_from_list(entry["vertices"]),
+                    height_m=float(entry["height_m"]),
+                )
+                for entry in data.get("adjacent_structures", [])
+            ),
+            surface_roughness_m=float(data.get("surface_roughness_m", 0.0)),
+            roughness_correlation_m=float(data.get("roughness_correlation_m", 2.0)),
+            roughness_seed=int(data.get("roughness_seed", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed roof specification: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Canonical content payloads for the stage cache
+#
+# These are the single source of truth for the expensive-stage cache keys:
+# both the declarative scenario path (ScenarioSpec methods below) and the
+# object-level path (repro.runner.stages, used by plan_roof and the
+# case-study drivers) build their keys through these functions, so the two
+# entry points share cache entries for identical inputs by construction.
+# ---------------------------------------------------------------------------
+
+
+def scene_content_payload(roof: RoofSpec, dsm_pitch: float) -> dict:
+    """Content key of the rasterised scene (roof geometry + DSM pitch)."""
+    return {"stage": "scene", "roof": roof_spec_to_dict(roof), "dsm_pitch": dsm_pitch}
+
+
+def grid_content_payload(roof: RoofSpec, dsm_pitch: float, grid_pitch: float) -> dict:
+    """Content key of the suitable-area virtual grid."""
+    return {
+        "stage": "grid",
+        "scene": scene_content_payload(roof, dsm_pitch),
+        "grid_pitch": grid_pitch,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Component specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimeSpec:
+    """Declarative temporal sampling (see :class:`repro.solar.TimeGrid`)."""
+
+    step_minutes: float = 60.0
+    day_stride: int = 7
+
+    def build(self) -> TimeGrid:
+        """Materialise the :class:`TimeGrid`."""
+        return TimeGrid(step_minutes=self.step_minutes, day_stride=self.day_stride)
+
+    def to_dict(self) -> dict:
+        return {"step_minutes": self.step_minutes, "day_stride": self.day_stride}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimeSpec":
+        return cls(
+            step_minutes=float(data.get("step_minutes", 60.0)),
+            day_stride=int(data.get("day_stride", 7)),
+        )
+
+
+@dataclass(frozen=True)
+class WeatherSpec:
+    """Declarative weather-station configuration.
+
+    ``kind`` selects the generator: ``"synthetic"`` (stochastic clear-sky
+    index, the default) or ``"clearsky"`` (idealised cloud-free year).
+    ``ghi_factor`` rescales the irradiance, emulating sunnier or cloudier
+    climates while keeping the temporal structure fixed.
+    """
+
+    kind: str = "synthetic"
+    seed: int = 0
+    ghi_factor: float = 1.0
+    station_name: str = "turin-synthetic"
+    latitude_deg: float = TURIN_LATITUDE
+    longitude_deg: float = TURIN_LONGITUDE
+    altitude_m: float = 240.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "clearsky"):
+            raise ConfigurationError(f"unknown weather kind {self.kind!r}")
+        if self.ghi_factor < 0:
+            raise ConfigurationError("ghi_factor must be non-negative")
+
+    def station(self) -> StationMetadata:
+        """The station metadata implied by the specification."""
+        return StationMetadata(
+            name=self.station_name,
+            latitude_deg=self.latitude_deg,
+            longitude_deg=self.longitude_deg,
+            altitude_m=self.altitude_m,
+        )
+
+    def build(self, time_grid: TimeGrid) -> WeatherSeries:
+        """Generate the weather series on the given time grid."""
+        config = SyntheticWeatherConfig(station=self.station(), seed=self.seed)
+        if self.kind == "clearsky":
+            series = generate_clearsky_weather(time_grid, config)
+        else:
+            series = generate_weather(time_grid, config)
+        if self.ghi_factor != 1.0:
+            series = scale_weather(series, self.ghi_factor)
+        return series
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "ghi_factor": self.ghi_factor,
+            "station_name": self.station_name,
+            "latitude_deg": self.latitude_deg,
+            "longitude_deg": self.longitude_deg,
+            "altitude_m": self.altitude_m,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WeatherSpec":
+        return cls(
+            kind=str(data.get("kind", "synthetic")),
+            seed=int(data.get("seed", 0)),
+            ghi_factor=float(data.get("ghi_factor", 1.0)),
+            station_name=str(data.get("station_name", "turin-synthetic")),
+            latitude_deg=float(data.get("latitude_deg", TURIN_LATITUDE)),
+            longitude_deg=float(data.get("longitude_deg", TURIN_LONGITUDE)),
+            altitude_m=float(data.get("altitude_m", 240.0)),
+        )
+
+
+@dataclass(frozen=True)
+class SolarSpec:
+    """Declarative irradiance-simulation options.
+
+    Mirrors :class:`repro.solar.SolarSimulationConfig` with plain values so
+    the configuration participates in JSON round-trips and content hashing.
+    ``linke_turbidity`` is either ``None`` (the Turin monthly climatology) or
+    a 12-value monthly tuple.
+    """
+
+    sky_model: str = "haydavies"
+    decomposition_model: str = "erbs"
+    albedo: float = 0.2
+    n_horizon_sectors: int = 36
+    horizon_max_distance_m: float = 60.0
+    linke_turbidity: Optional[Tuple[float, ...]] = None
+
+    def build(self) -> SolarSimulationConfig:
+        """Materialise the :class:`SolarSimulationConfig`."""
+        turbidity = (
+            LinkeTurbidityProfile.turin_default()
+            if self.linke_turbidity is None
+            else LinkeTurbidityProfile.from_monthly(self.linke_turbidity)
+        )
+        return SolarSimulationConfig(
+            sky_model=self.sky_model,
+            decomposition_model=self.decomposition_model,
+            albedo=self.albedo,
+            linke_turbidity=turbidity,
+            n_horizon_sectors=self.n_horizon_sectors,
+            horizon_max_distance_m=self.horizon_max_distance_m,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "sky_model": self.sky_model,
+            "decomposition_model": self.decomposition_model,
+            "albedo": self.albedo,
+            "n_horizon_sectors": self.n_horizon_sectors,
+            "horizon_max_distance_m": self.horizon_max_distance_m,
+            "linke_turbidity": (
+                None if self.linke_turbidity is None else list(self.linke_turbidity)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolarSpec":
+        turbidity = data.get("linke_turbidity")
+        return cls(
+            sky_model=str(data.get("sky_model", "haydavies")),
+            decomposition_model=str(data.get("decomposition_model", "erbs")),
+            albedo=float(data.get("albedo", 0.2)),
+            n_horizon_sectors=int(data.get("n_horizon_sectors", 36)),
+            horizon_max_distance_m=float(data.get("horizon_max_distance_m", 60.0)),
+            linke_turbidity=None if turbidity is None else tuple(float(v) for v in turbidity),
+        )
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Solver choice plus its free-form option mapping.
+
+    ``name`` must resolve in the :mod:`repro.runner.solvers` registry
+    (``greedy``, ``traditional``, ``ilp``, ``exhaustive`` out of the box);
+    ``options`` is forwarded to the solver's config dataclass.
+    """
+
+    name: str = "greedy"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolverSpec":
+        return cls(
+            name=str(data.get("name", "greedy")),
+            options=dict(data.get("options", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The scenario itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully declarative end-to-end pipeline run.
+
+    Attributes
+    ----------
+    name:
+        Unique scenario identifier (catalog key, JSONL record key).
+    roof:
+        The roof to plan (size, tilt, azimuth, obstacles, neighbours).
+    n_modules:
+        Number of modules to place.
+    n_series:
+        Modules per series string (defaults to ``min(8, n_modules)``).
+    module:
+        Either a key into the bundled datasheet registry
+        (:data:`repro.pv.datasheet.DATASHEETS`) or an inline datasheet dict.
+    grid_pitch, dsm_pitch:
+        Virtual-grid and DSM raster resolutions [m].
+    time, weather, solar:
+        Temporal sampling, weather generator and irradiance-model options.
+    solver:
+        Placement solver choice plus options.
+    allow_rotation:
+        Whether modules may be rotated by 90 degrees during placement.
+    description, tags:
+        Free-form catalog metadata (not part of any content key).
+    """
+
+    name: str
+    roof: RoofSpec
+    n_modules: int
+    n_series: Optional[int] = None
+    module: Union[str, Mapping[str, Any]] = "pv-mf165eb3"
+    grid_pitch: float = DEFAULT_GRID_PITCH
+    dsm_pitch: float = 0.4
+    time: TimeSpec = field(default_factory=TimeSpec)
+    weather: WeatherSpec = field(default_factory=WeatherSpec)
+    solar: SolarSpec = field(default_factory=SolarSpec)
+    solver: SolverSpec = field(default_factory=SolverSpec)
+    allow_rotation: bool = False
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if self.n_modules < 1:
+            raise ConfigurationError("n_modules must be positive")
+        if self.n_series is not None and self.n_series < 1:
+            raise ConfigurationError("n_series must be positive")
+        if self.grid_pitch <= 0 or self.dsm_pitch <= 0:
+            raise ConfigurationError("grid and DSM pitches must be positive")
+        if isinstance(self.module, str) and self.module.lower() not in DATASHEETS:
+            known = ", ".join(sorted(DATASHEETS))
+            raise ConfigurationError(
+                f"unknown module datasheet {self.module!r}; known: {known}"
+            )
+
+    # -- derived objects ---------------------------------------------------------
+
+    def datasheet(self) -> ModuleDatasheet:
+        """Resolve the module reference into a :class:`ModuleDatasheet`."""
+        if isinstance(self.module, str):
+            return get_datasheet(self.module)
+        return ModuleDatasheet(**dict(self.module))
+
+    def series_length(self) -> int:
+        """Modules per series string."""
+        return self.n_series if self.n_series is not None else min(8, self.n_modules)
+
+    def with_solver(self, name: str, **options: Any) -> "ScenarioSpec":
+        """A copy of the scenario with a different solver choice."""
+        return replace(self, solver=SolverSpec(name=name, options=options))
+
+    # -- content keys for the stage cache ----------------------------------------
+
+    def scene_payload(self) -> dict:
+        """Content key of the rasterised scene (roof geometry + DSM pitch)."""
+        return scene_content_payload(self.roof, self.dsm_pitch)
+
+    def grid_payload(self) -> dict:
+        """Content key of the suitable-area virtual grid."""
+        return grid_content_payload(self.roof, self.dsm_pitch, self.grid_pitch)
+
+    def solar_payload(self) -> dict:
+        """Content key of the spatio-temporal solar field (dominant cost)."""
+        return {
+            "stage": "solar",
+            "grid": self.grid_payload(),
+            "time": self.time.to_dict(),
+            "weather": self.weather.to_dict(),
+            "solar": self.solar.to_dict(),
+        }
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full JSON-serialisable dictionary form of the scenario."""
+        module = self.module if isinstance(self.module, str) else dict(self.module)
+        return {
+            "format_version": SCENARIO_FORMAT_VERSION,
+            "name": self.name,
+            "roof": roof_spec_to_dict(self.roof),
+            "n_modules": self.n_modules,
+            "n_series": self.n_series,
+            "module": module,
+            "grid_pitch": self.grid_pitch,
+            "dsm_pitch": self.dsm_pitch,
+            "time": self.time.to_dict(),
+            "weather": self.weather.to_dict(),
+            "solar": self.solar.to_dict(),
+            "solver": self.solver.to_dict(),
+            "allow_rotation": self.allow_rotation,
+            "description": self.description,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a scenario from its dictionary form."""
+        version = data.get("format_version", SCENARIO_FORMAT_VERSION)
+        if version != SCENARIO_FORMAT_VERSION:
+            raise ConfigurationError(f"unsupported scenario format version {version}")
+        try:
+            module = data.get("module", "pv-mf165eb3")
+            n_series = data.get("n_series")
+            return cls(
+                name=str(data["name"]),
+                roof=roof_spec_from_dict(data["roof"]),
+                n_modules=int(data["n_modules"]),
+                n_series=None if n_series is None else int(n_series),
+                module=module if isinstance(module, str) else dict(module),
+                grid_pitch=float(data.get("grid_pitch", DEFAULT_GRID_PITCH)),
+                dsm_pitch=float(data.get("dsm_pitch", 0.4)),
+                time=TimeSpec.from_dict(data.get("time", {})),
+                weather=WeatherSpec.from_dict(data.get("weather", {})),
+                solar=SolarSpec.from_dict(data.get("solar", {})),
+                solver=SolverSpec.from_dict(data.get("solver", {})),
+                allow_rotation=bool(data.get("allow_rotation", False)),
+                description=str(data.get("description", "")),
+                tags=tuple(str(tag) for tag in data.get("tags", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed scenario specification: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise the scenario to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a scenario from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: PathLike) -> None:
+        """Write the scenario to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ScenarioSpec":
+        """Read a scenario from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,126 @@
+"""Smoke tests of the ``repro`` command-line front-end."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import get_scenario
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestListScenarios:
+    def test_plain(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "residential-south" in out
+        assert "built-in scenarios" in out
+
+    def test_json(self, capsys):
+        assert main(["list-scenarios", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) >= 10
+        assert {"name", "solver", "n_modules", "description"} <= set(records[0])
+
+
+class TestRun:
+    def test_builtin_scenario(self, capsys, cache_dir, tmp_path):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", "residential-south", "--cache-dir", cache_dir, "--output", str(output)]
+        )
+        assert code == 0
+        assert "residential-south" in capsys.readouterr().out
+        record = json.loads(output.read_text())
+        assert record["scenario"] == "residential-south"
+        assert record["annual_energy_mwh"] > 0
+
+    def test_scenario_file_with_solver_override(self, capsys, cache_dir, tmp_path):
+        path = tmp_path / "custom.json"
+        get_scenario("residential-south").save(path)
+        code = main(["run", str(path), "--solver", "traditional", "--cache-dir", cache_dir])
+        assert code == 0
+        assert "solver=traditional" in capsys.readouterr().out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBatch:
+    def test_subset_parallel_with_store(self, capsys, cache_dir, tmp_path):
+        results = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "batch",
+                "fleet-a-n6",
+                "fleet-b-n8",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                cache_dir,
+                "--results",
+                str(results),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 scenarios" in out
+        lines = [json.loads(line) for line in results.read_text().splitlines() if line]
+        assert [record["scenario"] for record in lines] == ["fleet-a-n6", "fleet-b-n8"]
+
+    def test_serial_flag(self, capsys, cache_dir, tmp_path):
+        results = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "batch",
+                "residential-south",
+                "--serial",
+                "--cache-dir",
+                cache_dir,
+                "--results",
+                str(results),
+            ]
+        )
+        assert code == 0
+        assert "1 worker(s)" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_two_solvers(self, capsys, cache_dir):
+        code = main(
+            [
+                "compare",
+                "residential-south",
+                "--solvers",
+                "greedy,traditional",
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "traditional" in out and "vs best" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, tmp_path):
+        """``python -m repro`` resolves to the CLI."""
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list-scenarios"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0
+        assert "residential-south" in completed.stdout
