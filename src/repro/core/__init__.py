@@ -4,19 +4,29 @@ from .constraints import (
     DistanceThreshold,
     all_feasible_anchors,
     anchor_center,
+    anchors_overlapping_placement,
     feasible_anchor_mask,
     footprint_fits,
     mark_occupied,
+    sliding_window_sum,
 )
 from .evaluation import (
     PlacementComparison,
     PlacementEvaluation,
+    PlacementEvaluator,
     compare_placements,
     evaluate_placement,
+    evaluate_placement_reference,
     module_irradiance_series,
+    module_irradiance_series_reference,
 )
 from .exhaustive import ExhaustiveConfig, ExhaustiveResult, exhaustive_floorplan
-from .greedy import GreedyConfig, GreedyResult, greedy_floorplan
+from .greedy import (
+    GreedyConfig,
+    GreedyResult,
+    greedy_floorplan,
+    greedy_floorplan_reference,
+)
 from .ilp import ILPConfig, ILPResult, ilp_floorplan
 from .placement import (
     ModuleFootprint,
@@ -37,20 +47,26 @@ __all__ = [
     "DistanceThreshold",
     "all_feasible_anchors",
     "anchor_center",
+    "anchors_overlapping_placement",
     "feasible_anchor_mask",
     "footprint_fits",
     "mark_occupied",
+    "sliding_window_sum",
     "PlacementComparison",
     "PlacementEvaluation",
+    "PlacementEvaluator",
     "compare_placements",
     "evaluate_placement",
+    "evaluate_placement_reference",
     "module_irradiance_series",
+    "module_irradiance_series_reference",
     "ExhaustiveConfig",
     "ExhaustiveResult",
     "exhaustive_floorplan",
     "GreedyConfig",
     "GreedyResult",
     "greedy_floorplan",
+    "greedy_floorplan_reference",
     "ILPConfig",
     "ILPResult",
     "ilp_floorplan",

@@ -69,6 +69,52 @@ def mark_occupied(
     occupied[row : row + footprint.cells_h, col : col + footprint.cells_w] = True
 
 
+def sliding_window_sum(array: np.ndarray, cells_h: int, cells_w: int) -> np.ndarray:
+    """Sum of every ``cells_h x cells_w`` window, via a summed-area table.
+
+    Returns an array of shape ``(n_rows - cells_h + 1, n_cols - cells_w + 1)``
+    whose ``(r, c)`` entry is the sum of ``array[r:r+cells_h, c:c+cells_w]``.
+    Shared by the greedy and traditional placers' footprint scoring.
+    """
+    n_rows, n_cols = array.shape
+    integral = np.zeros((n_rows + 1, n_cols + 1), dtype=float)
+    integral[1:, 1:] = np.cumsum(np.cumsum(array, axis=0), axis=1)
+    return (
+        integral[cells_h:, cells_w:]
+        - integral[:-cells_h, cells_w:]
+        - integral[cells_h:, :-cells_w]
+        + integral[:-cells_h, :-cells_w]
+    )
+
+
+def anchors_overlapping_placement(
+    anchor_rows: np.ndarray,
+    anchor_cols: np.ndarray,
+    anchor_footprint: ModuleFootprint,
+    row: int,
+    col: int,
+    placed_footprint: ModuleFootprint,
+) -> np.ndarray:
+    """Mask of anchors whose window intersects a just-placed module.
+
+    An anchor at ``(r, c)`` spanning ``kh x kw`` cells intersects the placed
+    footprint ``[row, row+ph) x [col, col+pw)`` exactly when
+    ``row - kh < r < row + ph`` and ``col - kw < c < col + pw``.  This is the
+    *only* region whose feasibility changes when a module is placed, which is
+    what makes the greedy placer's candidate maintenance incremental: instead
+    of rebuilding full-grid masks per module, candidates inside this
+    neighbourhood are dropped and everything else is untouched.
+    """
+    kh, kw = anchor_footprint.cells_h, anchor_footprint.cells_w
+    ph, pw = placed_footprint.cells_h, placed_footprint.cells_w
+    return (
+        (anchor_rows > row - kh)
+        & (anchor_rows < row + ph)
+        & (anchor_cols > col - kw)
+        & (anchor_cols < col + pw)
+    )
+
+
 @dataclass
 class DistanceThreshold:
     """The greedy algorithm's dispersion filter (paper Fig. 5, line 5).

@@ -7,20 +7,35 @@ containing one poorly irradiated module is throttled to that module's
 current (the "weak module" bottleneck discussed in Section V-B).  Wiring
 losses of the sparse placement are accounted for by dissipating each
 string's extra cable resistance at the string's instantaneous current.
+
+The hot path is :class:`PlacementEvaluator`: it precomputes every
+per-problem invariant once (cells-to-column lookup, per-orientation
+substring grouping, the ambient-only parts of the module temperature
+factors) and evaluates each placement with a single gather + reduction over
+*all* modules, so the exhaustive and ablation flows that score hundreds of
+placements on one problem pay the setup cost once.  The module-level
+functions (:func:`evaluate_placement`, :func:`compare_placements`,
+:func:`module_irradiance_series`) are thin wrappers that build a throwaway
+evaluator; the original per-module loop implementations are kept as
+``*_reference`` ground truths for the equivalence tests and the speedup
+benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..constants import STC_IRRADIANCE, STC_TEMPERATURE
 from ..errors import PlacementError
+from ..pv.module import EmpiricalModuleModel
 from ..pv.mppt import MPPTModel
+from ..pv.thermal import CellTemperatureModel
 from ..pv.wiring import WiringSpec, string_extra_length, wiring_overhead_report
 from ..units import wh_to_mwh
-from .placement import Placement
+from .placement import ModuleFootprint, Placement
 from .problem import FloorplanProblem
 
 
@@ -67,6 +82,420 @@ class PlacementEvaluation:
         }
 
 
+# ---------------------------------------------------------------------------
+# Precomputed evaluation context
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _OrientationGather:
+    """Per-orientation gather pattern of the cells covered by a module.
+
+    The offsets are permuted so the cells of each bypass-diode substring are
+    contiguous, which turns the per-substring means into one
+    ``np.add.reduceat`` over the cell axis.
+    """
+
+    offset_rows: np.ndarray  # (k,) anchor-relative row of each covered cell
+    offset_cols: np.ndarray  # (k,)
+    group_starts: np.ndarray  # (g,) start of each substring within the k cells
+    group_counts: np.ndarray  # (g,) cells per substring
+    cells_h: int
+    cells_w: int
+
+
+def _orientation_gather(
+    base: ModuleFootprint, rotated: bool, n_substrings: int
+) -> _OrientationGather:
+    footprint = base.rotated() if rotated else base
+    grid_r, grid_c = np.meshgrid(
+        np.arange(footprint.cells_h), np.arange(footprint.cells_w), indexing="ij"
+    )
+    offset_rows = grid_r.ravel()
+    offset_cols = grid_c.ravel()
+    # Substrings run along the module's long side (same rule as the
+    # reference implementation below).
+    if footprint.cells_w >= footprint.cells_h:
+        long_coord = offset_cols
+        n_long = footprint.cells_w
+    else:
+        long_coord = offset_rows
+        n_long = footprint.cells_h
+    groups = np.minimum(
+        (long_coord * n_substrings) // max(n_long, 1), n_substrings - 1
+    )
+    order = np.argsort(groups, kind="stable")
+    _, counts = np.unique(groups[order], return_counts=True)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return _OrientationGather(
+        offset_rows=offset_rows[order],
+        offset_cols=offset_cols[order],
+        group_starts=starts.astype(np.intp),
+        group_counts=counts.astype(np.intp),
+        cells_h=footprint.cells_h,
+        cells_w=footprint.cells_w,
+    )
+
+
+class PlacementEvaluator:
+    """Vectorised evaluation context bound to one floorplanning problem.
+
+    Construction precomputes everything that does not depend on the
+    placement being scored:
+
+    * the full-grid cells-to-irradiance-column lookup,
+    * the covered-cell gather pattern and substring grouping of both module
+      orientations,
+    * the ambient-only parts of the module model's temperature factors
+      (the irradiance-dependent parts are a rank-1 correction applied per
+      evaluation).
+
+    ``evaluate`` then scores a placement with one fancy-indexed gather over
+    all modules, one substring reduction, and a *single* module operating
+    point computation shared by the panel aggregation and the mismatch-loss
+    figure (the reference implementation computed it three times).
+    Energies agree with :func:`evaluate_placement_reference` to well within
+    1e-9 relative.
+    """
+
+    def __init__(
+        self,
+        problem: FloorplanProblem,
+        include_wiring_loss: bool = True,
+        mppt: MPPTModel | None = None,
+        wiring_spec: WiringSpec | None = None,
+        module_aggregation: str = "substring-min",
+        n_substrings: int = 2,
+    ):
+        if module_aggregation not in ("substring-min", "mean"):
+            raise PlacementError(f"unknown module aggregation {module_aggregation!r}")
+        if n_substrings < 1:
+            raise PlacementError("n_substrings must be >= 1")
+        self.problem = problem
+        self.include_wiring_loss = include_wiring_loss
+        self.module_aggregation = module_aggregation
+        self.n_substrings = n_substrings
+        self.array = problem.array
+        self.tracker = mppt if mppt is not None else MPPTModel()
+        self.wiring = wiring_spec if wiring_spec is not None else WiringSpec()
+
+        solar = problem.solar
+        self._time_grid = solar.time_grid
+        self._lookup = solar.cell_column_lookup
+        self._irradiance = solar.irradiance  # stored dtype, typically float32
+        self._ambient = np.asarray(solar.temperature, dtype=float)
+        self._gathers: Dict[bool, _OrientationGather] = {
+            rotated: _orientation_gather(problem.footprint, rotated, n_substrings)
+            for rotated in (False, True)
+        }
+        # A module's effective irradiance depends only on its own anchor and
+        # orientation, so the per-anchor series is memoised: flows that score
+        # many overlapping placements on one problem (exhaustive search,
+        # baseline comparisons, ablations) reuse almost every anchor.  The
+        # cache is capped at ~32 MB so long-running evaluators on fine time
+        # grids cannot grow without bound.
+        self._series_cache: Dict[Tuple[int, int, bool], np.ndarray] = {}
+        n_time = max(int(self._irradiance.shape[0]), 1)
+        self._series_cache_cap = max(2 * problem.n_modules, 33_554_432 // (8 * n_time))
+
+        # Fused module operating point: for the standard empirical model with
+        # the linear thermal model, power and voltage are affine-in-G
+        # corrections of precomputable ambient-only factors:
+        #   P(G) = max(G * (pa(t) + pb * G), 0)
+        #   V(G) = max((va(t) + vb * G) * (c0 + c1 * G), 0)  where G > 0
+        # with pa, va depending on the ambient temperature series only.
+        model = problem.module_model
+        self._model = model
+        # Strict type checks: subclasses may override the closed forms the
+        # fused path re-derives, in which case the generic path is used.
+        self._fused = (
+            type(model) is EmpiricalModuleModel
+            and type(model.thermal) is CellTemperatureModel
+        )
+        if self._fused:
+            sheet = model.datasheet
+            k_thermal = model.thermal.k
+            ambient_delta = self._ambient - STC_TEMPERATURE
+            self._power_base = (sheet.p_max_ref / STC_IRRADIANCE) * (
+                1.0 + sheet.gamma_p_per_k * ambient_delta
+            )
+            self._power_slope = (sheet.p_max_ref / STC_IRRADIANCE) * (
+                sheet.gamma_p_per_k * k_thermal
+            )
+            self._voltage_base = sheet.v_mpp_ref * (
+                1.0 + sheet.beta_voc_per_k * ambient_delta
+            )
+            self._voltage_slope = sheet.v_mpp_ref * sheet.beta_voc_per_k * k_thermal
+
+    # -- placement decomposition -------------------------------------------------
+
+    def _placement_arrays(
+        self, placement: Placement
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        modules = sorted(placement.modules, key=lambda m: m.module_index)
+        n = len(modules)
+        rows = np.fromiter((m.row for m in modules), dtype=np.intp, count=n)
+        cols = np.fromiter((m.col for m in modules), dtype=np.intp, count=n)
+        rotated = np.fromiter((m.rotated for m in modules), dtype=bool, count=n)
+        return rows, cols, rotated
+
+    def _validated_columns(
+        self, placement: Placement
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Covered-cell irradiance columns per module, shape ``(N, k)``.
+
+        Performs the full placement validation (bounds, valid cells, module
+        overlaps) with vectorised checks equivalent to
+        :meth:`Placement.validate`, raising the same :class:`PlacementError`
+        categories.
+        """
+        if placement.footprint != self.problem.footprint:
+            # The gather patterns are precomputed from the problem's module
+            # footprint; silently evaluating a placement defined on another
+            # footprint would return wrong energies.
+            raise PlacementError(
+                f"placement footprint {placement.footprint} does not match "
+                f"the problem's module footprint {self.problem.footprint}"
+            )
+        rows, cols, rotated = self._placement_arrays(placement)
+        n_rows, n_cols = self.problem.grid.shape
+        n_modules = rows.shape[0]
+        k = self.problem.footprint.n_cells
+        columns = np.empty((n_modules, k), dtype=np.intp)
+        for orientation in (False, True):
+            selected = np.nonzero(rotated == orientation)[0]
+            if selected.size == 0:
+                continue
+            gather = self._gathers[orientation]
+            sel_rows = rows[selected]
+            sel_cols = cols[selected]
+            out_of_bounds = (
+                (sel_rows < 0)
+                | (sel_cols < 0)
+                | (sel_rows + gather.cells_h > n_rows)
+                | (sel_cols + gather.cells_w > n_cols)
+            )
+            if np.any(out_of_bounds):
+                offender = int(selected[int(np.argmax(out_of_bounds))])
+                raise PlacementError(f"module {offender} exceeds the grid bounds")
+            columns[selected] = self._lookup[
+                sel_rows[:, None] + gather.offset_rows[None, :],
+                sel_cols[:, None] + gather.offset_cols[None, :],
+            ]
+        invalid = columns < 0
+        if np.any(invalid):
+            offender = int(np.argmax(np.any(invalid, axis=1)))
+            raise PlacementError(
+                f"module {offender} covers invalid (unsuitable) cells"
+            )
+        flat = columns.ravel()
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        duplicate = sorted_flat[1:] == sorted_flat[:-1]
+        if np.any(duplicate):
+            # First module (in index order) that covers an already-used cell.
+            offender = int(np.min(order[1:][duplicate]) // k)
+            raise PlacementError(
+                f"module {offender} overlaps a previously placed module"
+            )
+        return columns, rows, cols, rotated
+
+    # -- per-module irradiance ---------------------------------------------------
+
+    def module_irradiance_series(self, placement: Placement) -> np.ndarray:
+        """Per-module effective irradiance, shape ``(n_time, N)``, float64.
+
+        Vectorised equivalent of :func:`module_irradiance_series_reference`:
+        one gather over every covered cell of every module, then either a
+        plain mean or a per-substring ``add.reduceat`` + min, grouped per
+        orientation.  The gather stays in the solar field's storage dtype
+        (typically float32); reductions accumulate in float64 and the result
+        is cast exactly once, so no full-precision copy of the irradiance
+        block is ever materialised.
+        """
+        columns, rows, cols, rotated = self._validated_columns(placement)
+        return self._series_from_columns(columns, rows, cols, rotated)
+
+    def _series_from_columns(
+        self,
+        columns: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        rotated: np.ndarray,
+    ) -> np.ndarray:
+        n_time = self._irradiance.shape[0]
+        n_modules = columns.shape[0]
+        series = np.empty((n_time, n_modules), dtype=float)
+        cache = self._series_cache
+        missing = []
+        for index in range(n_modules):
+            key = (int(rows[index]), int(cols[index]), bool(rotated[index]))
+            cached = cache.get(key)
+            if cached is None:
+                missing.append((index, key))
+            else:
+                series[:, index] = cached
+        if missing:
+            miss_idx = np.array([index for index, _ in missing], dtype=np.intp)
+            self._compute_series(columns[miss_idx], rotated[miss_idx], series, miss_idx)
+            for index, key in missing:
+                if len(cache) >= self._series_cache_cap:
+                    break
+                cache[key] = series[:, index].copy()
+        return series
+
+    def _compute_series(
+        self,
+        columns: np.ndarray,
+        rotated: np.ndarray,
+        series: np.ndarray,
+        out_indices: np.ndarray,
+    ) -> None:
+        """Vectorised gather + reduction of the uncached modules."""
+        n_time = self._irradiance.shape[0]
+        k = columns.shape[1]
+        for orientation in (False, True):
+            selected = np.nonzero(rotated == orientation)[0]
+            if selected.size == 0:
+                continue
+            gather = self._gathers[orientation]
+            n_selected = selected.size
+            n_groups = gather.group_starts.shape[0]
+            block = self._irradiance[:, columns[selected].ravel()]
+            if self.module_aggregation == "mean" or self.n_substrings == 1:
+                values = block.reshape(n_time, n_selected, k).mean(
+                    axis=2, dtype=np.float64
+                )
+            elif np.all(gather.group_counts == gather.group_counts[0]):
+                # Equal-sized substrings (the common case): the grouped means
+                # are a plain reshape + mean, cheaper than a reduceat.
+                group_size = int(gather.group_counts[0])
+                values = block.reshape(n_time, n_selected, n_groups, group_size).mean(
+                    axis=3, dtype=np.float64
+                ).min(axis=2)
+            else:
+                boundaries = (
+                    np.arange(n_selected, dtype=np.intp)[:, None] * k
+                    + gather.group_starts[None, :]
+                ).ravel()
+                sums = np.add.reduceat(block, boundaries, axis=1, dtype=np.float64)
+                means = sums / np.tile(gather.group_counts, n_selected)[None, :]
+                values = means.reshape(n_time, n_selected, n_groups).min(axis=2)
+            series[:, out_indices[selected]] = values
+
+    # -- module operating point --------------------------------------------------
+
+    def _module_operating_point(
+        self, irradiance: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-module (power, voltage, current) over time, computed once."""
+        if not self._fused:
+            point = self._model.operating_point(irradiance, self._ambient[:, None])
+            return point.power_w, point.voltage_v, point.current_a
+        g = irradiance
+        power = np.maximum((self._power_base[:, None] + self._power_slope * g) * g, 0.0)
+        irradiance_factor = (
+            self._model.voltage_irradiance_intercept
+            + self._model.voltage_irradiance_slope * g
+        )
+        voltage = (self._voltage_base[:, None] + self._voltage_slope * g) * irradiance_factor
+        voltage = np.where(g > 0.0, np.maximum(voltage, 0.0), 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            current = np.where(voltage > 1e-9, power / np.maximum(voltage, 1e-9), 0.0)
+        return power, voltage, current
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(
+        self, placement: Placement, store_power_series: bool = False
+    ) -> PlacementEvaluation:
+        """Compute the yearly energy of a placement on the bound problem."""
+        if placement.n_modules != self.problem.n_modules:
+            raise PlacementError(
+                "placement and problem disagree on the number of modules "
+                f"({placement.n_modules} vs {self.problem.n_modules})"
+            )
+        columns, rows, cols, rotated = self._validated_columns(placement)
+        irradiance = self._series_from_columns(columns, rows, cols, rotated)
+
+        module_power, module_voltage, module_current = self._module_operating_point(
+            irradiance
+        )
+        panel = self.array.aggregate(module_voltage, module_current)
+        gross_power = self.tracker.extracted_power(panel.power_w)
+
+        # Wiring loss: each string dissipates R * L_extra * I_string(t)^2.
+        string_positions = placement.string_positions()
+        extra_lengths = np.array(
+            [string_extra_length(positions, self.wiring) for positions in string_positions]
+        )
+        loss_power = np.sum(
+            self.wiring.resistance_per_m
+            * extra_lengths[None, :]
+            * panel.string_currents_a**2,
+            axis=1,
+        )
+        if self.include_wiring_loss:
+            net_power = np.maximum(gross_power - loss_power, 0.0)
+        else:
+            net_power = gross_power
+
+        time_grid = self._time_grid
+        gross_energy = time_grid.integrate_energy_wh(gross_power)
+        net_energy = time_grid.integrate_energy_wh(net_power)
+        wiring_loss = (
+            time_grid.integrate_energy_wh(loss_power) if self.include_wiring_loss else 0.0
+        )
+
+        # Mismatch loss from the same operating point (the reference path
+        # recomputed both the ideal and the aggregate a second time).
+        ideal_power = np.sum(module_power, axis=-1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mismatch = np.where(
+                ideal_power > 1e-9,
+                1.0 - panel.power_w / np.maximum(ideal_power, 1e-9),
+                0.0,
+            )
+        daylight = panel.power_w > 1.0
+        mean_mismatch = float(np.mean(mismatch[daylight])) if np.any(daylight) else 0.0
+
+        peak_power = float(np.max(net_power)) if net_power.size else 0.0
+        hours_per_year = 8760.0
+        capacity_factor = (
+            net_energy / (self.problem.nameplate_power_w * hours_per_year)
+            if self.problem.nameplate_power_w > 0
+            else 0.0
+        )
+
+        overhead = wiring_overhead_report(string_positions, spec=self.wiring)
+
+        return PlacementEvaluation(
+            placement_label=placement.label,
+            annual_energy_wh=float(net_energy),
+            gross_energy_wh=float(gross_energy),
+            wiring_loss_wh=float(wiring_loss),
+            wiring_extra_length_m=float(overhead.total_extra_m),
+            wiring_extra_cost=float(overhead.extra_cost),
+            mean_mismatch_loss=mean_mismatch,
+            peak_power_w=peak_power,
+            capacity_factor=float(capacity_factor),
+            power_series_w=net_power if store_power_series else None,
+        )
+
+    def compare(
+        self, baseline: Placement, candidate: Placement
+    ) -> "PlacementComparison":
+        """Evaluate two placements through the shared context and compare."""
+        return PlacementComparison(
+            baseline=self.evaluate(baseline), candidate=self.evaluate(candidate)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module-level convenience wrappers
+# ---------------------------------------------------------------------------
+
+
 def module_irradiance_series(
     problem: FloorplanProblem,
     placement: Placement,
@@ -89,6 +518,118 @@ def module_irradiance_series(
       the whole module to its worst substring.
     * ``"mean"`` -- simple average of the covered cells; optimistic (assumes
       perfect intra-module mixing) and used by the ablation benchmarks.
+
+    One-shot wrapper over :class:`PlacementEvaluator`; callers scoring many
+    placements on the same problem should hold an evaluator instead.
+    """
+    evaluator = PlacementEvaluator(
+        problem, module_aggregation=aggregation, n_substrings=n_substrings
+    )
+    return evaluator.module_irradiance_series(placement)
+
+
+def evaluate_placement(
+    problem: FloorplanProblem,
+    placement: Placement,
+    include_wiring_loss: bool = True,
+    mppt: MPPTModel | None = None,
+    wiring_spec: WiringSpec | None = None,
+    store_power_series: bool = False,
+    module_aggregation: str = "substring-min",
+) -> PlacementEvaluation:
+    """Compute the yearly energy of a placement on a problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The floorplanning instance (grid, solar data, module, topology).
+    placement:
+        The floorplan to evaluate; it is validated against the grid first.
+    include_wiring_loss:
+        Subtract the resistive loss of the extra string cabling.
+    mppt:
+        Optional MPPT/conversion efficiency applied to the panel power.
+    wiring_spec:
+        Cable characteristics for the wiring-loss model.
+    store_power_series:
+        Keep the full panel power series in the result (memory permitting).
+    module_aggregation:
+        How the cells covered by a module combine into its effective
+        irradiance (see :func:`module_irradiance_series`).
+
+    One-shot wrapper over :class:`PlacementEvaluator`; callers scoring many
+    placements on the same problem should hold an evaluator instead.
+    """
+    evaluator = PlacementEvaluator(
+        problem,
+        include_wiring_loss=include_wiring_loss,
+        mppt=mppt,
+        wiring_spec=wiring_spec,
+        module_aggregation=module_aggregation,
+    )
+    return evaluator.evaluate(placement, store_power_series=store_power_series)
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Side-by-side comparison of two placements on the same problem."""
+
+    baseline: PlacementEvaluation
+    candidate: PlacementEvaluation
+
+    @property
+    def energy_gain_wh(self) -> float:
+        """Absolute yearly energy gain of the candidate over the baseline."""
+        return self.candidate.annual_energy_wh - self.baseline.annual_energy_wh
+
+    @property
+    def improvement_percent(self) -> float:
+        """Relative improvement in percent (the paper's Table I last column)."""
+        if self.baseline.annual_energy_wh <= 0:
+            return 0.0
+        return 100.0 * self.energy_gain_wh / self.baseline.annual_energy_wh
+
+    def summary(self) -> dict:
+        """Flat dictionary for reports."""
+        return {
+            "baseline_mwh": self.baseline.annual_energy_mwh,
+            "candidate_mwh": self.candidate.annual_energy_mwh,
+            "improvement_percent": self.improvement_percent,
+        }
+
+
+def compare_placements(
+    problem: FloorplanProblem,
+    baseline: Placement,
+    candidate: Placement,
+    include_wiring_loss: bool = True,
+    module_aggregation: str = "substring-min",
+) -> PlacementComparison:
+    """Evaluate two placements under identical conditions and compare them."""
+    evaluator = PlacementEvaluator(
+        problem,
+        include_wiring_loss=include_wiring_loss,
+        module_aggregation=module_aggregation,
+    )
+    return evaluator.compare(baseline, candidate)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (kept for equivalence tests and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def module_irradiance_series_reference(
+    problem: FloorplanProblem,
+    placement: Placement,
+    aggregation: str = "substring-min",
+    n_substrings: int = 2,
+) -> np.ndarray:
+    """Original per-module-loop irradiance aggregation (ground truth).
+
+    Kept verbatim so the equivalence tests can check the vectorised
+    :meth:`PlacementEvaluator.module_irradiance_series` against it and the
+    evaluator benchmark can measure the speedup.
     """
     if aggregation not in ("substring-min", "mean"):
         raise PlacementError(f"unknown module aggregation {aggregation!r}")
@@ -128,7 +669,7 @@ def module_irradiance_series(
     return series
 
 
-def evaluate_placement(
+def evaluate_placement_reference(
     problem: FloorplanProblem,
     placement: Placement,
     include_wiring_loss: bool = True,
@@ -137,25 +678,12 @@ def evaluate_placement(
     store_power_series: bool = False,
     module_aggregation: str = "substring-min",
 ) -> PlacementEvaluation:
-    """Compute the yearly energy of a placement on a problem instance.
+    """Original evaluation flow (ground truth for the vectorised evaluator).
 
-    Parameters
-    ----------
-    problem:
-        The floorplanning instance (grid, solar data, module, topology).
-    placement:
-        The floorplan to evaluate; it is validated against the grid first.
-    include_wiring_loss:
-        Subtract the resistive loss of the extra string cabling.
-    mppt:
-        Optional MPPT/conversion efficiency applied to the panel power.
-    wiring_spec:
-        Cable characteristics for the wiring-loss model.
-    store_power_series:
-        Keep the full panel power series in the result (memory permitting).
-    module_aggregation:
-        How the cells covered by a module combine into its effective
-        irradiance (see :func:`module_irradiance_series`).
+    Recomputes the module operating point three times (panel aggregation +
+    both sides of the mismatch figure), exactly like the seed implementation
+    did; :meth:`PlacementEvaluator.evaluate` must agree with it to within
+    1e-9 relative on every reported figure.
     """
     placement.validate(problem.grid)
     if placement.n_modules != problem.n_modules:
@@ -169,13 +697,14 @@ def evaluate_placement(
     wiring = wiring_spec if wiring_spec is not None else WiringSpec()
     time_grid = problem.solar.time_grid
 
-    irradiance = module_irradiance_series(problem, placement, aggregation=module_aggregation)
+    irradiance = module_irradiance_series_reference(
+        problem, placement, aggregation=module_aggregation
+    )
     ambient = problem.solar.temperature
 
     operating = array.operating_point_from_conditions(irradiance, ambient)
     gross_power = tracker.extracted_power(operating.power_w)
 
-    # Wiring loss: each string dissipates R * L_extra * I_string(t)^2.
     string_positions = placement.string_positions()
     extra_lengths = np.array(
         [string_extra_length(positions, wiring) for positions in string_positions]
@@ -218,50 +747,4 @@ def evaluate_placement(
         peak_power_w=peak_power,
         capacity_factor=float(capacity_factor),
         power_series_w=net_power if store_power_series else None,
-    )
-
-
-@dataclass(frozen=True)
-class PlacementComparison:
-    """Side-by-side comparison of two placements on the same problem."""
-
-    baseline: PlacementEvaluation
-    candidate: PlacementEvaluation
-
-    @property
-    def energy_gain_wh(self) -> float:
-        """Absolute yearly energy gain of the candidate over the baseline."""
-        return self.candidate.annual_energy_wh - self.baseline.annual_energy_wh
-
-    @property
-    def improvement_percent(self) -> float:
-        """Relative improvement in percent (the paper's Table I last column)."""
-        if self.baseline.annual_energy_wh <= 0:
-            return 0.0
-        return 100.0 * self.energy_gain_wh / self.baseline.annual_energy_wh
-
-    def summary(self) -> dict:
-        """Flat dictionary for reports."""
-        return {
-            "baseline_mwh": self.baseline.annual_energy_mwh,
-            "candidate_mwh": self.candidate.annual_energy_mwh,
-            "improvement_percent": self.improvement_percent,
-        }
-
-
-def compare_placements(
-    problem: FloorplanProblem,
-    baseline: Placement,
-    candidate: Placement,
-    include_wiring_loss: bool = True,
-    module_aggregation: str = "substring-min",
-) -> PlacementComparison:
-    """Evaluate two placements under identical conditions and compare them."""
-    return PlacementComparison(
-        baseline=evaluate_placement(
-            problem, baseline, include_wiring_loss, module_aggregation=module_aggregation
-        ),
-        candidate=evaluate_placement(
-            problem, candidate, include_wiring_loss, module_aggregation=module_aggregation
-        ),
     )

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import InfeasiblePlacementError, PlacementError
 from .constraints import feasible_anchor_mask
-from .evaluation import evaluate_placement
+from .evaluation import PlacementEvaluator
 from .placement import ModulePlacement, Placement
 from .problem import FloorplanProblem
 
@@ -91,6 +91,13 @@ def exhaustive_floorplan(
     best_placement: Placement | None = None
     evaluated = 0
 
+    # One evaluation context amortises the problem-level precomputation
+    # (cell lookup, substring grouping, temperature factors) over every
+    # candidate combination -- the search scores hundreds of placements.
+    evaluator = PlacementEvaluator(
+        problem, include_wiring_loss=cfg.include_wiring_loss
+    )
+
     for combination in itertools.combinations(range(n_anchors), problem.n_modules):
         selected = [anchors[i] for i in combination]
         if _any_overlap(selected, footprint.cells_h, footprint.cells_w):
@@ -106,9 +113,7 @@ def exhaustive_floorplan(
             grid_pitch=problem.grid.pitch,
             label="exhaustive-candidate",
         )
-        evaluation = evaluate_placement(
-            problem, placement, include_wiring_loss=cfg.include_wiring_loss
-        )
+        evaluation = evaluator.evaluate(placement)
         evaluated += 1
         if evaluation.annual_energy_wh > best_energy:
             best_energy = evaluation.annual_energy_wh

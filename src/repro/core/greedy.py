@@ -20,6 +20,14 @@ candidate violating the distance threshold is skipped (the scan moves to the
 next candidate) rather than dropping the module altogether, and the
 threshold is relaxed if no candidate at all satisfies it -- both required
 for the algorithm to always place exactly N modules.
+
+Candidate maintenance is *incremental*: the feasible-anchor set and the
+per-anchor scores/centres are materialised once, and placing a module only
+removes the candidates whose window intersects the new footprint (a
+``(k1+k2-1)``-sized neighbourhood) instead of rebuilding full-grid masks per
+module.  :func:`greedy_floorplan_reference` keeps the original
+rebuild-everything flow as the ground truth: both must produce *identical*
+placements module for module.
 """
 
 from __future__ import annotations
@@ -31,8 +39,15 @@ import numpy as np
 
 from ..errors import InfeasiblePlacementError
 from ..geometry import Point2D
-from .constraints import DistanceThreshold, anchor_center, feasible_anchor_mask, mark_occupied
-from .placement import ModulePlacement, Placement
+from .constraints import (
+    DistanceThreshold,
+    anchor_center,
+    anchors_overlapping_placement,
+    feasible_anchor_mask,
+    mark_occupied,
+    sliding_window_sum,
+)
+from .placement import ModuleFootprint, ModulePlacement, Placement
 from .problem import FloorplanProblem
 from .suitability import SuitabilityConfig, SuitabilityMap, compute_suitability
 
@@ -89,18 +104,8 @@ def _footprint_score_map(
     finite = np.nan_to_num(values, nan=0.0)
     invalid = np.isnan(values).astype(np.int64)
 
-    def window_sum(array: np.ndarray) -> np.ndarray:
-        integral = np.zeros((n_rows + 1, n_cols + 1), dtype=float)
-        integral[1:, 1:] = np.cumsum(np.cumsum(array, axis=0), axis=1)
-        return (
-            integral[cells_h:, cells_w:]
-            - integral[:-cells_h, cells_w:]
-            - integral[cells_h:, :-cells_w]
-            + integral[:-cells_h, :-cells_w]
-        )
-
-    sums = window_sum(finite)
-    bad = window_sum(invalid.astype(float)) > 0.5
+    sums = sliding_window_sum(finite, cells_h, cells_w)
+    bad = sliding_window_sum(invalid.astype(float), cells_h, cells_w) > 0.5
     n_cells = cells_h * cells_w
 
     if aggregate == "mean":
@@ -124,12 +129,225 @@ def _footprint_score_map(
     return scores
 
 
+class _CandidateSet:
+    """Feasible anchors of one orientation, maintained incrementally.
+
+    The arrays stay in the row-major order ``np.nonzero`` produced them in,
+    and placing a module only *filters* them (boolean keep-mask), so every
+    argmax/argmin tie is broken exactly like the full-rebuild reference --
+    the two implementations yield identical placements module for module.
+    """
+
+    def __init__(self, problem: FloorplanProblem, fp: ModuleFootprint, rotated: bool,
+                 score_map: np.ndarray):
+        self.fp = fp
+        self.rotated = rotated
+        feasible = feasible_anchor_mask(
+            problem.grid.valid_mask, np.zeros(problem.grid.shape, dtype=bool), fp
+        )
+        candidates = feasible & np.isfinite(score_map)
+        rows, cols = np.nonzero(candidates)
+        self.rows = rows
+        self.cols = cols
+        self.values = score_map[rows, cols]
+        pitch = problem.grid.pitch
+        self.centers_u = (cols + fp.cells_w / 2.0) * pitch
+        self.centers_v = (rows + fp.cells_h / 2.0) * pitch
+
+    def remove_overlapping(self, row: int, col: int, placed_fp: ModuleFootprint) -> None:
+        """Drop the anchors whose window intersects a just-placed module."""
+        drop = anchors_overlapping_placement(
+            self.rows, self.cols, self.fp, row, col, placed_fp
+        )
+        if not np.any(drop):
+            return
+        keep = ~drop
+        self.rows = self.rows[keep]
+        self.cols = self.cols[keep]
+        self.values = self.values[keep]
+        self.centers_u = self.centers_u[keep]
+        self.centers_v = self.centers_v[keep]
+
+
 def greedy_floorplan(
     problem: FloorplanProblem,
     suitability: SuitabilityMap | None = None,
     config: GreedyConfig | None = None,
 ) -> GreedyResult:
     """Run the paper's greedy placement algorithm on a problem instance."""
+    cfg = config if config is not None else GreedyConfig()
+    start = time.perf_counter()
+
+    if suitability is None:
+        suitability = compute_suitability(
+            problem.solar,
+            SuitabilityConfig(percentile=problem.suitability_percentile),
+            problem.module_model,
+        )
+
+    footprint = problem.footprint
+    orientations = [(footprint, False)]
+    if problem.allow_rotation and footprint.cells_w != footprint.cells_h:
+        orientations.append((footprint.rotated(), True))
+
+    candidate_sets = [
+        _CandidateSet(
+            problem,
+            fp,
+            rotated,
+            _footprint_score_map(
+                suitability, fp.cells_h, fp.cells_w, cfg.footprint_aggregate
+            ),
+        )
+        for fp, rotated in orientations
+    ]
+
+    module_diagonal = problem.grid.pitch * float(
+        np.hypot(footprint.cells_w, footprint.cells_h)
+    )
+    threshold = DistanceThreshold(
+        factor=problem.distance_threshold_factor,
+        min_radius_m=max(5.0 * module_diagonal, 6.0),
+    )
+    placed: list[ModulePlacement] = []
+    placed_centers: list[Point2D] = []
+    relaxed = 0
+
+    for module_index in range(problem.n_modules):
+        best = _select_candidate(cfg, candidate_sets, placed_centers, threshold)
+        if best is None:
+            # No candidate satisfies the dispersion filter: relax it once.
+            relaxed += 1
+            best = _select_candidate(cfg, candidate_sets, placed_centers, None)
+        if best is None:
+            raise InfeasiblePlacementError(
+                f"could not place module {module_index}: no feasible anchor remains"
+            )
+        row, col, rotated, fp = best
+        placed.append(
+            ModulePlacement(module_index=module_index, row=row, col=col, rotated=rotated)
+        )
+        placed_centers.append(anchor_center(row, col, fp, problem.grid.pitch))
+        for candidate_set in candidate_sets:
+            candidate_set.remove_overlapping(row, col, fp)
+
+    runtime = time.perf_counter() - start
+    placement = Placement(
+        modules=tuple(placed),
+        footprint=footprint,
+        topology=problem.topology,
+        grid_pitch=problem.grid.pitch,
+        label="greedy",
+        metadata={
+            "algorithm": "greedy",
+            "runtime_s": runtime,
+            "suitability_percentile": suitability.config.percentile,
+            "relaxed_threshold_count": relaxed,
+        },
+    )
+    return GreedyResult(
+        placement=placement,
+        suitability=suitability,
+        runtime_s=runtime,
+        relaxed_threshold_count=relaxed,
+    )
+
+
+def _select_candidate(
+    cfg: GreedyConfig,
+    candidate_sets: list[_CandidateSet],
+    placed_centers: list[Point2D],
+    threshold: DistanceThreshold | None,
+):
+    """Pick the best feasible anchor across the allowed orientations.
+
+    Returns ``(row, col, rotated, footprint)`` or ``None`` when nothing fits.
+    """
+    best_tuple = None
+    best_score = -np.inf
+    best_distance = np.inf
+
+    apply_threshold = (
+        threshold is not None and cfg.respect_distance_threshold and placed_centers
+    )
+
+    if placed_centers:
+        centroid = Point2D(
+            float(np.mean([p.x for p in placed_centers])),
+            float(np.mean([p.y for p in placed_centers])),
+        )
+        limit = threshold.threshold_for(placed_centers) if apply_threshold else np.inf
+    else:
+        centroid = None
+        limit = np.inf
+
+    for candidate_set in candidate_sets:
+        if candidate_set.rows.size == 0:
+            continue
+        rows = candidate_set.rows
+        cols = candidate_set.cols
+        values = candidate_set.values
+
+        if centroid is not None:
+            distances = np.hypot(
+                candidate_set.centers_u - centroid.x,
+                candidate_set.centers_v - centroid.y,
+            )
+        else:
+            distances = np.zeros_like(values)
+
+        if apply_threshold and np.isfinite(limit):
+            within = distances <= limit
+            if not np.any(within):
+                continue
+            rows, cols, values, distances = (
+                rows[within],
+                cols[within],
+                values[within],
+                distances[within],
+            )
+
+        top = float(np.max(values))
+        near_top = values >= top - cfg.tie_tolerance * max(abs(top), 1.0)
+        tie_rows, tie_cols = rows[near_top], cols[near_top]
+        tie_distances = distances[near_top]
+        pick = int(np.argmin(tie_distances))
+        score = top
+        distance = float(tie_distances[pick])
+
+        better = score > best_score + 1e-15 or (
+            abs(score - best_score) <= cfg.tie_tolerance * max(abs(score), 1.0)
+            and distance < best_distance
+        )
+        if better:
+            best_score = score
+            best_distance = distance
+            best_tuple = (
+                int(tie_rows[pick]),
+                int(tie_cols[pick]),
+                candidate_set.rotated,
+                candidate_set.fp,
+            )
+
+    return best_tuple
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (kept for equivalence tests and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def greedy_floorplan_reference(
+    problem: FloorplanProblem,
+    suitability: SuitabilityMap | None = None,
+    config: GreedyConfig | None = None,
+) -> GreedyResult:
+    """Original greedy flow rebuilding full-grid masks per module.
+
+    Ground truth for the incremental :func:`greedy_floorplan`: the two must
+    return identical placements module for module (the equivalence test
+    checks this on the scenario catalog).
+    """
     cfg = config if config is not None else GreedyConfig()
     start = time.perf_counter()
 
@@ -165,13 +383,12 @@ def greedy_floorplan(
     relaxed = 0
 
     for module_index in range(problem.n_modules):
-        best = _select_candidate(
+        best = _select_candidate_reference(
             problem, cfg, orientations, score_maps, occupied, placed_centers, threshold
         )
         if best is None:
-            # No candidate satisfies the dispersion filter: relax it once.
             relaxed += 1
-            best = _select_candidate(
+            best = _select_candidate_reference(
                 problem, cfg, orientations, score_maps, occupied, placed_centers, None
             )
         if best is None:
@@ -207,7 +424,7 @@ def greedy_floorplan(
     )
 
 
-def _select_candidate(
+def _select_candidate_reference(
     problem: FloorplanProblem,
     cfg: GreedyConfig,
     orientations,
@@ -216,10 +433,7 @@ def _select_candidate(
     placed_centers: list[Point2D],
     threshold: DistanceThreshold | None,
 ):
-    """Pick the best feasible anchor across the allowed orientations.
-
-    Returns ``(row, col, rotated, footprint)`` or ``None`` when nothing fits.
-    """
+    """Full-rebuild candidate selection of the reference greedy flow."""
     best_tuple = None
     best_score = -np.inf
     best_distance = np.inf

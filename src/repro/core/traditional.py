@@ -28,7 +28,12 @@ import numpy as np
 
 from ..errors import InfeasiblePlacementError
 from ..geometry import Point2D
-from .constraints import anchor_center, feasible_anchor_mask, mark_occupied
+from .constraints import (
+    anchor_center,
+    feasible_anchor_mask,
+    mark_occupied,
+    sliding_window_sum,
+)
 from .placement import ModuleFootprint, ModulePlacement, Placement
 from .problem import FloorplanProblem
 from .suitability import SuitabilityConfig, SuitabilityMap, compute_suitability
@@ -67,18 +72,8 @@ def _window_score(values: np.ndarray, cells_h: int, cells_w: int) -> np.ndarray:
     finite = np.nan_to_num(values, nan=0.0)
     invalid = np.isnan(values).astype(float)
 
-    def window_sum(array: np.ndarray) -> np.ndarray:
-        integral = np.zeros((n_rows + 1, n_cols + 1), dtype=float)
-        integral[1:, 1:] = np.cumsum(np.cumsum(array, axis=0), axis=1)
-        return (
-            integral[cells_h:, cells_w:]
-            - integral[:-cells_h, cells_w:]
-            - integral[cells_h:, :-cells_w]
-            + integral[:-cells_h, :-cells_w]
-        )
-
-    sums = window_sum(finite)
-    bad = window_sum(invalid) > 0.5
+    sums = sliding_window_sum(finite, cells_h, cells_w)
+    bad = sliding_window_sum(invalid, cells_h, cells_w) > 0.5
     scores[: n_rows - cells_h + 1, : n_cols - cells_w + 1] = np.where(bad, -np.inf, sums)
     return scores
 

@@ -68,6 +68,9 @@ class BatchResult:
 
 def _run_scenario_worker(args: tuple) -> dict:
     """Process-pool entry point: rebuild the spec, run it, return a record."""
+    # The batch already parallelises across processes; keep the horizon
+    # kernel single-threaded inside each worker to avoid oversubscription.
+    os.environ.setdefault("REPRO_HORIZON_WORKERS", "1")
     spec_dict, cache_dir, use_cache = args
     spec = ScenarioSpec.from_dict(spec_dict)
     cache = StageCache(root=Path(cache_dir), enabled=use_cache) if cache_dir else None

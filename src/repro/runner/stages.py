@@ -27,7 +27,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.problem import FloorplanProblem, default_topology
-from ..core.evaluation import PlacementComparison, compare_placements
+from ..core.evaluation import PlacementComparison, PlacementEvaluator
 from ..core.suitability import SuitabilityConfig, SuitabilityMap, compute_suitability
 from ..errors import ConfigurationError
 from ..gis.gridding import RoofGrid, make_roof_grid
@@ -432,8 +432,11 @@ def run_scenario(
         baseline: SolverOutcome = outcome
     else:
         baseline = solve(problem, "traditional", {}, suitability)
-    comparison: PlacementComparison = compare_placements(
-        problem, baseline.placement, outcome.placement
+    # One evaluation context scores both the proposed and the baseline
+    # placement, sharing the per-problem precomputation.
+    evaluator = PlacementEvaluator(problem)
+    comparison: PlacementComparison = evaluator.compare(
+        baseline.placement, outcome.placement
     )
 
     runtime = time.perf_counter() - start

@@ -108,6 +108,16 @@ class RoofSolarField:
 
     # -- accessors -----------------------------------------------------------------
 
+    @property
+    def cell_column_lookup(self) -> np.ndarray:
+        """Full-grid map of irradiance column indices (-1 on invalid cells).
+
+        ``lookup[row, col]`` is the column of :attr:`irradiance` holding the
+        series of grid element ``(row, col)``; the evaluation fast path uses
+        it to gather whole placements with one fancy-indexing operation.
+        """
+        return self._cell_lookup
+
     def column_of(self, row: int, col: int) -> int:
         """Column index (into :attr:`irradiance`) of grid element (row, col).
 
@@ -126,9 +136,19 @@ class RoofSolarField:
         return np.asarray(self.irradiance[:, self.column_of(row, col)], dtype=float)
 
     def irradiance_for_cells(self, cells: np.ndarray) -> np.ndarray:
-        """Irradiance time series of several grid elements, shape ``(n_time, k)``."""
+        """Irradiance time series of several grid elements, shape ``(n_time, k)``.
+
+        Raises
+        ------
+        SolarModelError
+            If any requested element is not part of the valid set.
+        """
         cells_arr = np.asarray(cells, dtype=int).reshape(-1, 2)
-        columns = [self.column_of(int(r), int(c)) for r, c in cells_arr]
+        columns = self._cell_lookup[cells_arr[:, 0], cells_arr[:, 1]]
+        invalid = columns < 0
+        if np.any(invalid):
+            row, col = cells_arr[int(np.argmax(invalid))]
+            raise SolarModelError(f"grid element ({row}, {col}) is not a valid cell")
         return np.asarray(self.irradiance[:, columns], dtype=float)
 
     # -- aggregate maps ---------------------------------------------------------------
@@ -148,13 +168,8 @@ class RoofSolarField:
 
     def annual_insolation_map_kwh(self) -> np.ndarray:
         """Per-cell yearly insolation [kWh/m^2] (NaN outside the valid area)."""
-        totals = np.array(
-            [
-                self.time_grid.integrate_energy_wh(self.irradiance[:, k].astype(float))
-                for k in range(self.n_cells)
-            ]
-        )
-        return self._scatter(totals / 1e3)
+        totals = self.time_grid.integrate_energy_wh(self.irradiance)
+        return self._scatter(np.asarray(totals) / 1e3)
 
     def _scatter(self, values: np.ndarray) -> np.ndarray:
         grid_map = np.full(self.grid.shape, np.nan)

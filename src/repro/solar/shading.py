@@ -22,6 +22,8 @@ time steps would be prohibitively slow, so this module uses the classic
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,11 +130,149 @@ class HorizonMap:
         return np.mean(np.cos(horizon_rad) ** 2, axis=0)
 
 
+def _sector_steps(
+    azimuth_deg: float,
+    distances: np.ndarray,
+    pitch: float,
+    shape: tuple[int, int],
+) -> list[tuple[float, tuple, tuple, tuple]]:
+    """Deduplicated ``(distance, src, dst, window)`` steps of one sector.
+
+    Several consecutive radial distances round to the same integer cell
+    offset; for a fixed offset the obstruction height difference ``dz`` is
+    fixed and ``arctan2(dz, distance)`` is decreasing in ``distance`` when
+    ``dz > 0`` (the only case that can contribute to the clamped-at-zero
+    horizon), so keeping only the *smallest* marching distance per offset
+    preserves the final horizon map exactly.  The slice tuples address the
+    shifted source region, the destination region, and the matching scratch
+    window, hoisting all slice arithmetic out of the hot loop.
+    """
+    az_rad = azimuth_deg * DEG2RAD
+    # Unit vector pointing from the cell towards the obstruction
+    # (x = east, y = north); azimuth 0 = South, positive towards West.
+    ux = -np.sin(az_rad)
+    uy = -np.cos(az_rad)
+    n_rows, n_cols = shape
+    steps: list[tuple[float, tuple, tuple, tuple]] = []
+    seen: set[tuple[int, int]] = set()
+    for distance in distances:
+        d_col = int(np.round(distance * ux / pitch))
+        d_row = int(np.round(distance * uy / pitch))
+        if (d_col == 0 and d_row == 0) or (d_row, d_col) in seen:
+            continue
+        seen.add((d_row, d_col))
+        src_row_lo = max(0, d_row)
+        src_row_hi = min(n_rows, n_rows + d_row)
+        src_col_lo = max(0, d_col)
+        src_col_hi = min(n_cols, n_cols + d_col)
+        if src_row_lo >= src_row_hi or src_col_lo >= src_col_hi:
+            continue
+        src = (slice(src_row_lo, src_row_hi), slice(src_col_lo, src_col_hi))
+        dst = (
+            slice(src_row_lo - d_row, src_row_hi - d_row),
+            slice(src_col_lo - d_col, src_col_hi - d_col),
+        )
+        window = (
+            slice(0, src_row_hi - src_row_lo),
+            slice(0, src_col_hi - src_col_lo),
+        )
+        steps.append((float(distance), src, dst, window))
+    return steps
+
+
+class _SectorScratch:
+    """Preallocated per-worker buffers of the horizon kernel.
+
+    One set of full-grid buffers is reused across every radial step of every
+    sector a worker processes, replacing the per-step ``np.full_like``
+    allocation churn of the straightforward implementation.
+    """
+
+    def __init__(self, shape: tuple[int, int]):
+        self.dz = np.empty(shape, dtype=float)
+        self.ratio = np.empty(shape, dtype=float)
+        self.mask = np.empty(shape, dtype=bool)
+        self.tie_mask = np.empty(shape, dtype=bool)
+        self.best_ratio = np.empty(shape, dtype=float)
+        self.best_dz = np.empty(shape, dtype=float)
+        self.best_distance = np.empty(shape, dtype=float)
+
+    def reset(self) -> None:
+        # The initial (dz=-1, distance=1) pair maps to a -45 deg angle, which
+        # the final clamp turns into the same 0 deg the reference gives for
+        # cells with no obstruction candidate at all.
+        self.best_ratio.fill(-np.inf)
+        self.best_dz.fill(-1.0)
+        self.best_distance.fill(1.0)
+
+
+def _sector_horizon(
+    elevation: np.ndarray,
+    steps: list[tuple[float, tuple, tuple, tuple]],
+    out: np.ndarray,
+    scratch: _SectorScratch,
+) -> None:
+    """Horizon angles of one sector, written into ``out`` (a full-grid view).
+
+    The running maximum is tracked in tangent space (``dz / distance``) --
+    cheap elementwise arithmetic -- and the single expensive ``arctan2`` pass
+    runs once at the end on the winning ``(dz, distance)`` pair of each cell,
+    reproducing the reference per-step ``arctan2`` result bit for bit.
+    Exactly tied positive ratios (proportional ``(dz, d)`` pairs, common on
+    the perfectly planar regions of synthetic DSMs) can carry ``arctan2``
+    values differing in the last ulp; the reference keeps the larger one, so
+    the rare tied cells are resolved by comparing the actual angles.
+    """
+    scratch.reset()
+    best_ratio = scratch.best_ratio
+    best_dz = scratch.best_dz
+    best_distance = scratch.best_distance
+    for distance, src, dst, window in steps:
+        dz = scratch.dz[window]
+        ratio = scratch.ratio[window]
+        mask = scratch.mask[window]
+        tie = scratch.tie_mask[window]
+        stored_ratio = best_ratio[dst]
+        np.subtract(elevation[src], elevation[dst], out=dz)
+        np.divide(dz, distance, out=ratio)
+        # Tie candidates: exactly equal ratio AND an actual obstruction
+        # (dz > 0; zero/negative angles are clamped away identically).
+        np.equal(ratio, stored_ratio, out=tie)
+        np.greater(dz, 0.0, out=mask)
+        tie &= mask
+        # NaN ratios (out-of-tile obstructions on a DSM with NaN holes)
+        # compare False and are skipped, like the reference's NaN -> -90 path.
+        np.greater(ratio, stored_ratio, out=mask)
+        if mask.any():
+            np.copyto(stored_ratio, ratio, where=mask)
+            np.copyto(best_dz[dst], dz, where=mask)
+            np.copyto(best_distance[dst], distance, where=mask)
+        if tie.any():
+            tie_rows, tie_cols = np.nonzero(tie)
+            dst_rows = tie_rows + dst[0].start
+            dst_cols = tie_cols + dst[1].start
+            tied_dz = dz[tie_rows, tie_cols]
+            candidate_angle = np.arctan2(tied_dz, distance)
+            stored_angle = np.arctan2(
+                best_dz[dst_rows, dst_cols],
+                best_distance[dst_rows, dst_cols],
+            )
+            wins = candidate_angle > stored_angle
+            if np.any(wins):
+                best_dz[dst_rows[wins], dst_cols[wins]] = tied_dz[wins]
+                best_distance[dst_rows[wins], dst_cols[wins]] = distance
+    with np.errstate(invalid="ignore"):
+        np.arctan2(best_dz, best_distance, out=out)
+    out *= RAD2DEG
+    np.maximum(out, 0.0, out=out)
+
+
 def compute_horizon_map(
     dsm: Raster,
     n_sectors: int = 36,
     max_distance: float = 60.0,
     min_step: float | None = None,
+    n_workers: int | None = None,
 ) -> HorizonMap:
     """Compute the horizon map of a DSM.
 
@@ -150,13 +290,76 @@ def compute_horizon_map(
         DSM tile) a few tens of metres suffice.
     min_step:
         Radial marching step [m]; defaults to the DSM pitch.
+    n_workers:
+        Number of threads marching sectors concurrently (numpy releases the
+        GIL inside the kernels).  ``None`` picks ``min(n_sectors, available
+        CPUs)`` respecting CPU affinity, overridable via the
+        ``REPRO_HORIZON_WORKERS`` environment variable (the process-parallel
+        batch runner sets it to 1 in its workers to avoid oversubscription);
+        1 forces the serial path.
 
     Notes
     -----
     The computation marches rays outwards from every cell simultaneously:
     for a fixed azimuth sector and a fixed radial distance the candidate
-    obstruction heights for *all* cells are obtained with a single shifted
-    copy of the DSM array, so the inner loop is pure numpy.
+    obstruction heights for *all* cells are read through a single shifted
+    view of the DSM array, so the inner loop is pure numpy.  Radial steps
+    that round to the same cell offset are deduplicated, each worker reuses
+    one set of preallocated scratch buffers, and the per-step transcendental
+    is avoided by maximising in tangent space (see :func:`_sector_horizon`);
+    the result is bit-for-bit identical to
+    :func:`compute_horizon_map_reference`.
+    """
+    if n_sectors < 4:
+        raise GISError("at least 4 azimuth sectors are required")
+    if max_distance <= 0:
+        raise GISError("max_distance must be positive")
+    pitch = dsm.pitch
+    step = pitch if min_step is None else max(float(min_step), 1e-6)
+    n_rows, n_cols = dsm.shape
+    elevation = dsm.data
+
+    sector_azimuths = -180.0 + (np.arange(n_sectors) + 0.5) * (360.0 / n_sectors)
+    horizon = np.zeros((n_sectors, n_rows, n_cols), dtype=float)
+
+    n_steps = max(1, int(np.ceil(max_distance / step)))
+    distances = (np.arange(1, n_steps + 1)) * step
+
+    workers = n_workers if n_workers is not None else min(n_sectors, _default_workers())
+    workers = max(1, int(workers))
+
+    def run_sectors(sector_indices) -> None:
+        scratch = _SectorScratch((n_rows, n_cols))
+        for s in sector_indices:
+            steps = _sector_steps(
+                float(sector_azimuths[s]), distances, pitch, (n_rows, n_cols)
+            )
+            _sector_horizon(elevation, steps, horizon[s], scratch)
+
+    if workers <= 1:
+        run_sectors(range(n_sectors))
+    else:
+        chunks = [range(start, n_sectors, workers) for start in range(workers)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # list() re-raises any worker exception.
+            list(pool.map(run_sectors, chunks))
+
+    return HorizonMap(
+        sector_azimuths_deg=sector_azimuths, horizon_deg=horizon, pitch=pitch
+    )
+
+
+def compute_horizon_map_reference(
+    dsm: Raster,
+    n_sectors: int = 36,
+    max_distance: float = 60.0,
+    min_step: float | None = None,
+) -> HorizonMap:
+    """Straightforward horizon-map computation, kept as the ground truth.
+
+    This is the original per-(sector, distance) shifted-copy implementation;
+    the optimised :func:`compute_horizon_map` must reproduce its output bit
+    for bit (the equivalence test and the kernel benchmark both rely on it).
     """
     if n_sectors < 4:
         raise GISError("at least 4 azimuth sectors are required")
@@ -175,8 +378,6 @@ def compute_horizon_map(
 
     for s, azimuth in enumerate(sector_azimuths):
         az_rad = azimuth * DEG2RAD
-        # Unit vector pointing from the cell towards the obstruction
-        # (x = east, y = north); azimuth 0 = South, positive towards West.
         ux = -np.sin(az_rad)
         uy = -np.cos(az_rad)
         best = np.full((n_rows, n_cols), -90.0)
@@ -194,6 +395,25 @@ def compute_horizon_map(
     return HorizonMap(
         sector_azimuths_deg=sector_azimuths, horizon_deg=horizon, pitch=pitch
     )
+
+
+def _default_workers() -> int:
+    """Default horizon-kernel thread count.
+
+    Honours the ``REPRO_HORIZON_WORKERS`` override and CPU affinity (cgroup
+    limits in containers), so process-parallel callers can pin the kernel to
+    one thread instead of oversubscribing the machine.
+    """
+    override = os.environ.get("REPRO_HORIZON_WORKERS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
 
 
 def _shifted_elevation(elevation: np.ndarray, d_row: int, d_col: int) -> np.ndarray:
@@ -231,13 +451,24 @@ def shadow_fraction_map(
 
     Only samples with the sun above the horizon contribute to the fraction;
     if the sun never rises in the provided series the result is 1 everywhere.
+
+    A cell is shaded at a sample exactly when the sun elevation falls below
+    the cell's horizon angle in the sun's azimuth sector, so the per-sample
+    loop reduces to one sorted-search per *sector*: sort the sun elevations
+    that land in the sector and count, for every cell, how many of them lie
+    strictly below the cell's horizon angle.
     """
     elevation = np.asarray(sun_elevation_deg, dtype=float)
     azimuth = np.asarray(sun_azimuth_deg, dtype=float)
     up = elevation > 0.0
     if not np.any(up):
         return np.ones(horizon_map.shape, dtype=float)
+    up_elevation = elevation[up]
+    sectors = horizon_map.sector_index(azimuth[up])
     shaded_count = np.zeros(horizon_map.shape, dtype=float)
-    for elev, az in zip(elevation[up], azimuth[up]):
-        shaded_count += horizon_map.shadow_mask(float(elev), float(az)).astype(float)
+    for sector in np.unique(sectors):
+        sector_elevations = np.sort(up_elevation[sectors == sector])
+        horizon = horizon_map.horizon_deg[sector]
+        counts = np.searchsorted(sector_elevations, horizon.ravel(), side="left")
+        shaded_count += counts.reshape(horizon_map.shape)
     return shaded_count / float(np.count_nonzero(up))

