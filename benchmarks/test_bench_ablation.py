@@ -86,19 +86,9 @@ def test_bench_greedy_vs_ilp_surrogate(benchmark, case_studies, table1_config):
     mask = np.zeros_like(problem.grid.valid_mask)
     mask[:, : problem.grid.n_cols // 3] = problem.grid.valid_mask[:, : problem.grid.n_cols // 3]
     from repro.core import FloorplanProblem
-    from repro.solar.irradiance_map import RoofSolarField
 
     grid = problem.grid.with_mask(mask)
-    cells = grid.valid_cells()
-    columns = [problem.solar.column_of(int(r), int(c)) for r, c in cells]
-    solar = RoofSolarField(
-        grid=grid,
-        time_grid=problem.solar.time_grid,
-        cells=cells,
-        irradiance=problem.solar.irradiance[:, columns],
-        temperature=problem.solar.temperature,
-        sky_view=problem.solar.sky_view[columns],
-    )
+    solar = problem.solar.restricted_to(grid)
     reduced = FloorplanProblem(
         grid=grid,
         solar=solar,

@@ -39,7 +39,6 @@ from repro.core.constraints import feasible_anchor_mask
 from repro.core.placement import ModulePlacement, Placement
 from repro.experiments import build_problem
 from repro.pv.datasheet import PV_MF165EB3
-from repro.solar.irradiance_map import RoofSolarField
 from repro.solar.shading import compute_horizon_map, compute_horizon_map_reference
 
 
@@ -164,16 +163,7 @@ def _mini_exhaustive_problem(case_studies) -> FloorplanProblem:
     mask = np.zeros_like(grid.valid_mask)
     mask[4:12, 4:28] = grid.valid_mask[4:12, 4:28]
     restricted = grid.with_mask(mask)
-    cells = restricted.valid_cells()
-    columns = [study.solar.column_of(int(r), int(c)) for r, c in cells]
-    solar = RoofSolarField(
-        grid=restricted,
-        time_grid=study.solar.time_grid,
-        cells=cells,
-        irradiance=study.solar.irradiance[:, columns],
-        temperature=study.solar.temperature,
-        sky_view=study.solar.sky_view[columns],
-    )
+    solar = study.solar.restricted_to(restricted)
     return FloorplanProblem(
         grid=restricted,
         solar=solar,

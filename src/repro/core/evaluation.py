@@ -180,10 +180,17 @@ class PlacementEvaluator:
         self.wiring = wiring_spec if wiring_spec is not None else WiringSpec()
 
         solar = problem.solar
-        self._time_grid = solar.time_grid
+        self._solar = solar
+        # All per-time work runs on the field's storage axis: for a
+        # daylight-compressed field that is the kept (sun-up) rows only --
+        # the dropped rows have zero irradiance, hence zero module power,
+        # zero string current and zero wiring loss, so they contribute
+        # nothing to any figure this evaluator reports.  ``time_axis``
+        # integrates storage-aligned series with the full-year quadrature.
+        self._time_axis = solar.time_axis
         self._lookup = solar.cell_column_lookup
         self._irradiance = solar.irradiance  # stored dtype, typically float32
-        self._ambient = np.asarray(solar.temperature, dtype=float)
+        self._ambient = solar.axis_temperature
         self._gathers: Dict[bool, _OrientationGather] = {
             rotated: _orientation_gather(problem.footprint, rotated, n_substrings)
             for rotated in (False, True)
@@ -311,10 +318,13 @@ class PlacementEvaluator:
         orientation.  The gather stays in the solar field's storage dtype
         (typically float32); reductions accumulate in float64 and the result
         is cast exactly once, so no full-precision copy of the irradiance
-        block is ever materialised.
+        block is ever materialised.  On a daylight-compressed field the
+        reduction runs on the kept rows and the result is expanded back to
+        the full axis (the dropped rows reduce to exact zeros).
         """
         columns, rows, cols, rotated = self._validated_columns(placement)
-        return self._series_from_columns(columns, rows, cols, rotated)
+        series = self._series_from_columns(columns, rows, cols, rotated)
+        return self._solar.expand_axis(series)
 
     def _series_from_columns(
         self,
@@ -440,11 +450,11 @@ class PlacementEvaluator:
         else:
             net_power = gross_power
 
-        time_grid = self._time_grid
-        gross_energy = time_grid.integrate_energy_wh(gross_power)
-        net_energy = time_grid.integrate_energy_wh(net_power)
+        time_axis = self._time_axis
+        gross_energy = time_axis.integrate_energy_wh(gross_power)
+        net_energy = time_axis.integrate_energy_wh(net_power)
         wiring_loss = (
-            time_grid.integrate_energy_wh(loss_power) if self.include_wiring_loss else 0.0
+            time_axis.integrate_energy_wh(loss_power) if self.include_wiring_loss else 0.0
         )
 
         # Mismatch loss from the same operating point (the reference path
@@ -479,7 +489,9 @@ class PlacementEvaluator:
             mean_mismatch_loss=mean_mismatch,
             peak_power_w=peak_power,
             capacity_factor=float(capacity_factor),
-            power_series_w=net_power if store_power_series else None,
+            power_series_w=(
+                self._solar.expand_axis(net_power) if store_power_series else None
+            ),
         )
 
     def compare(

@@ -112,23 +112,31 @@ def compute_suitability(
     cfg = config if config is not None else SuitabilityConfig()
     model = module_model if module_model is not None else paper_module_model()
 
-    irradiance = solar.irradiance.astype(float)  # (n_time, Ng)
-
-    if cfg.statistic == "percentile":
-        g_stat = np.percentile(irradiance, cfg.percentile, axis=0)
-    else:
-        g_stat = np.mean(irradiance, axis=0)
-
-    if cfg.use_temperature_correction:
-        # Per-cell module temperature percentile; the f(T) factor follows the
-        # dPmax/dT slope of the module model (Figure 3, middle plot).
-        cell_temperature = model.cell_temperature(
-            irradiance, solar.temperature[:, None]
-        )
+    # The statistics are taken over the *full* time axis -- for a
+    # daylight-compressed field the night zeros (and the real night ambient
+    # temperatures) are part of the distribution the paper's percentile is
+    # defined on.  Streaming dense float64 column blocks keeps the result
+    # bit-identical to the dense computation (per-column percentiles and
+    # means do not depend on which other columns share the block) without
+    # ever materialising a full (n_time, Ng) copy.
+    ambient = np.asarray(solar.temperature, dtype=float)[:, None]
+    g_stat = np.empty(solar.n_cells)
+    t_stat = np.empty(solar.n_cells) if cfg.use_temperature_correction else None
+    for sl, block in solar.iter_dense_blocks():
         if cfg.statistic == "percentile":
-            t_stat = np.percentile(cell_temperature, cfg.percentile, axis=0)
+            g_stat[sl] = np.percentile(block, cfg.percentile, axis=0)
         else:
-            t_stat = np.mean(cell_temperature, axis=0)
+            g_stat[sl] = np.mean(block, axis=0)
+        if t_stat is not None:
+            # Per-cell module temperature percentile; the f(T) factor follows
+            # the dPmax/dT slope of the module model (Figure 3, middle plot).
+            cell_temperature = model.cell_temperature(block, ambient)
+            if cfg.statistic == "percentile":
+                t_stat[sl] = np.percentile(cell_temperature, cfg.percentile, axis=0)
+            else:
+                t_stat[sl] = np.mean(cell_temperature, axis=0)
+
+    if t_stat is not None:
         factor = 1.0 + model.datasheet.gamma_p_per_k * (t_stat - STC_TEMPERATURE)
         factor = np.maximum(factor, 0.0)
     else:

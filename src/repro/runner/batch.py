@@ -2,13 +2,23 @@
 
 The batch runner executes a list of :class:`~repro.scenario.ScenarioSpec`
 in a :class:`~concurrent.futures.ProcessPoolExecutor` and appends one JSON
-record per scenario to a JSONL results store.  Scenarios are shipped to the
-workers in their declarative dictionary form (no heavyweight pickling), and
-every worker shares the same on-disk stage cache: the first scenario that
-needs a given solar field computes and publishes it, all later scenarios --
-in this run or the next -- hit the cache.  Results are returned in input
-order regardless of completion order, and all scenario inputs are seeded,
-so a parallel batch is bit-for-bit identical to a serial one.
+record per scenario to a JSONL results store.  The worker transport is
+zero-copy by construction: each submission carries only the scenario's
+declarative dictionary plus the cache *location* (a directory path -- the
+content keys are recomputed inside the worker), never a pickled irradiance
+array or any other bulk simulation object; workers attach to the shared
+on-disk stage cache, whose bulk arrays they memory-map read-only (see
+:mod:`repro.runner.cache`).  The first scenario that needs a given solar
+field computes and publishes it, all later scenarios -- in this run or the
+next -- hit the cache.
+
+Submission is chunked and completion-streamed: at most a small multiple of
+the worker count is in flight at any moment (so huge fleets do not pile up
+thousands of pending futures) and finished results are collected with
+``concurrent.futures.wait`` as they complete instead of the ``executor.map``
+barrier.  Results are still returned in input order regardless of completion
+order, and all scenario inputs are seeded, so a parallel batch is
+bit-for-bit identical to a serial one.
 """
 
 from __future__ import annotations
@@ -16,15 +26,20 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..scenario.spec import ScenarioSpec
 from .cache import PathLike, StageCache, resolve_cache
 from .stages import ScenarioResult, run_scenario
+
+#: In-flight submissions per worker process: enough to keep every worker
+#: busy while results stream back, small enough that a 10k-scenario fleet
+#: does not materialise 10k pending futures up front.
+INFLIGHT_PER_WORKER = 2
 
 
 @dataclass
@@ -66,14 +81,36 @@ class BatchResult:
         }
 
 
+def _worker_payload(
+    spec: ScenarioSpec,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    mmap_arrays: bool = True,
+) -> Tuple[dict, Optional[str], bool, bool]:
+    """The pickled work unit shipped to one worker process.
+
+    Deliberately tiny: the declarative scenario dictionary and the cache
+    *location* (plus its memmap flag).  Workers rederive every content key
+    from the spec and pull bulk arrays from the shared cache
+    (memory-mapped), so no irradiance matrix -- or any other numpy payload
+    -- ever crosses the process boundary.  A test asserts the serialised
+    size stays in the kilobytes.
+    """
+    return (spec.to_dict(), cache_dir, use_cache, mmap_arrays)
+
+
 def _run_scenario_worker(args: tuple) -> dict:
     """Process-pool entry point: rebuild the spec, run it, return a record."""
     # The batch already parallelises across processes; keep the horizon
     # kernel single-threaded inside each worker to avoid oversubscription.
     os.environ.setdefault("REPRO_HORIZON_WORKERS", "1")
-    spec_dict, cache_dir, use_cache = args
+    spec_dict, cache_dir, use_cache, mmap_arrays = args
     spec = ScenarioSpec.from_dict(spec_dict)
-    cache = StageCache(root=Path(cache_dir), enabled=use_cache) if cache_dir else None
+    cache = (
+        StageCache(root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays)
+        if cache_dir
+        else None
+    )
     result = run_scenario(spec, cache=cache, use_cache=use_cache)
     return result.to_dict()
 
@@ -131,9 +168,24 @@ def run_batch(
             for spec in specs
         ]
     else:
-        work = [(spec.to_dict(), cache_dir, use_cache) for spec in specs]
+        work = [
+            _worker_payload(spec, cache_dir, use_cache, stage_cache.mmap_arrays)
+            for spec in specs
+        ]
+        records = [None] * len(work)
+        max_inflight = jobs * INFLIGHT_PER_WORKER
         with ProcessPoolExecutor(max_workers=jobs) as executor:
-            records = list(executor.map(_run_scenario_worker, work))
+            pending: Dict[object, int] = {}
+            next_index = 0
+            while next_index < len(work) or pending:
+                while next_index < len(work) and len(pending) < max_inflight:
+                    future = executor.submit(_run_scenario_worker, work[next_index])
+                    pending[future] = next_index
+                    next_index += 1
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # .result() re-raises worker exceptions, like map() did.
+                    records[pending.pop(future)] = future.result()
     runtime = time.perf_counter() - start
 
     results = [ScenarioResult.from_dict(record) for record in records]

@@ -14,10 +14,26 @@ Entries are pickled because stage outputs are numpy-laden simulation objects.
 Writes go through a temporary file followed by an atomic ``os.replace`` so
 concurrent batch workers never observe half-written entries; a corrupt or
 unreadable entry is treated as a miss and recomputed.
+
+Zero-copy array sidecars
+------------------------
+Objects that declare a ``__cache_array_fields__`` class attribute (a tuple
+of attribute names -- e.g. the irradiance block of a
+:class:`~repro.solar.irradiance_map.RoofSolarField`, the horizon cube of a
+:class:`~repro.solar.shading.HorizonMap`) have those arrays stored as raw
+``.npy`` sidecar files next to the pickle instead of inside it.  On a hit
+the sidecars are reattached with ``numpy.load(..., mmap_mode="r")``, so a
+fleet of batch worker processes reading the same cached solar field share
+one page-cache copy of the bulk data instead of each unpickling a private
+one.  Set ``REPRO_CACHE_MMAP=0`` to load full in-memory copies instead
+(e.g. when the cache directory lives on a slow network filesystem).
+Sidecars are written before the pickle and a missing/corrupt sidecar turns
+the whole entry into a miss, preserving the atomicity guarantee.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
@@ -27,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 PathLike = Union[str, Path]
@@ -34,8 +52,12 @@ PathLike = Union[str, Path]
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable switching memory-mapped sidecar reads off ("0").
+CACHE_MMAP_ENV = "REPRO_CACHE_MMAP"
+
 #: Bump to orphan every existing entry when the on-disk format changes.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: daylight-compressed solar fields + ``.npy`` array sidecars.
+CACHE_FORMAT_VERSION = 2
 
 
 def canonical_json(payload: Any) -> str:
@@ -67,6 +89,24 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _mmap_default() -> bool:
+    """Default for memory-mapped sidecar reads (``REPRO_CACHE_MMAP``)."""
+    return os.environ.get(CACHE_MMAP_ENV, "1") != "0"
+
+
+@dataclass
+class _SidecarStub:
+    """Pickled form of an entry whose bulk arrays live in ``.npy`` sidecars.
+
+    ``value`` is a shallow copy of the original object with the listed
+    attributes set to ``None``; :meth:`StageCache.get` reattaches the
+    sidecar arrays before returning it.
+    """
+
+    value: Any
+    fields: Tuple[str, ...]
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters of one :class:`StageCache` instance."""
@@ -92,11 +132,16 @@ class StageCache:
         When False every lookup misses and nothing is written; lets callers
         thread one cache handle through the pipeline and switch caching off
         with a flag (the CLI's ``--no-cache``).
+    mmap_arrays:
+        When True (the default, overridable via ``REPRO_CACHE_MMAP=0``)
+        array sidecars are reattached as read-only memory maps instead of
+        in-memory copies.
     """
 
     root: Path = field(default_factory=default_cache_dir)
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    mmap_arrays: bool = field(default_factory=_mmap_default)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -110,6 +155,11 @@ class StageCache:
         digest = content_digest({"format": CACHE_FORMAT_VERSION, "payload": payload})
         return self.root / stage / f"{digest}.pkl"
 
+    @staticmethod
+    def _sidecar_path(path: Path, name: str) -> Path:
+        """On-disk location of one array sidecar of the entry at ``path``."""
+        return path.with_name(f"{path.stem}.{name}.npy")
+
     # -- lookup / store -----------------------------------------------------------
 
     def get(self, stage: str, payload: Any) -> Tuple[Any, bool]:
@@ -121,24 +171,64 @@ class StageCache:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            if isinstance(value, _SidecarStub):
+                stub = value.value
+                mmap_mode = "r" if self.mmap_arrays else None
+                for name in value.fields:
+                    array = np.load(self._sidecar_path(path, name), mmap_mode=mmap_mode)
+                    object.__setattr__(stub, name, array)
+                value = stub
+        except (
+            OSError,
+            pickle.PickleError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            ValueError,
+        ):
             self.stats.misses += 1
             return None, False
         self.stats.hits += 1
         return value, True
 
     def put(self, stage: str, payload: Any, value: Any) -> None:
-        """Store a stage result atomically (no-op when disabled)."""
+        """Store a stage result atomically (no-op when disabled).
+
+        The declared ``__cache_array_fields__`` of ``value`` (if any) are
+        written as raw ``.npy`` sidecars *before* the pickle is published,
+        so a concurrent reader either sees the complete entry or a miss.
+        """
         if not self.enabled:
             return
         path = self.path_for(stage, payload)
         path.parent.mkdir(parents=True, exist_ok=True)
+
+        stored = value
+        sidecar_fields = tuple(getattr(type(value), "__cache_array_fields__", ()) or ())
+        if sidecar_fields:
+            stored = copy.copy(value)
+            for name in sidecar_fields:
+                array = np.asarray(getattr(value, name))
+                self._write_atomic(
+                    self._sidecar_path(path, name), lambda h, a=array: np.save(h, a)
+                )
+                object.__setattr__(stored, name, None)
+            stored = _SidecarStub(value=stored, fields=sidecar_fields)
+
+        self._write_atomic(
+            path, lambda h: pickle.dump(stored, h, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.stats.writes += 1
+
+    @staticmethod
+    def _write_atomic(path: Path, write: Callable[[Any], None]) -> None:
+        """Write a file through a temporary + atomic ``os.replace``."""
         descriptor, tmp_name = tempfile.mkstemp(
             prefix=path.stem, suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                write(handle)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -146,7 +236,6 @@ class StageCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
 
     def get_or_compute(
         self, stage: str, payload: Any, compute: Callable[[], Any]
@@ -166,7 +255,11 @@ class StageCache:
     # -- maintenance --------------------------------------------------------------
 
     def clear(self, stage: Optional[str] = None) -> int:
-        """Delete cached entries (one stage or everything); returns the count."""
+        """Delete cached entries (one stage or everything).
+
+        Array sidecars are removed along with their entries; the returned
+        count is the number of *entries* (pickles) deleted.
+        """
         base = self.root / stage if stage else self.root
         removed = 0
         if not base.exists():
@@ -175,6 +268,11 @@ class StageCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in sorted(base.rglob("*.npy")):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed
@@ -199,7 +297,12 @@ def resolve_cache(
     """
     if isinstance(cache, StageCache):
         if cache.enabled and not enabled:
-            return StageCache(root=cache.root, enabled=False, stats=cache.stats)
+            return StageCache(
+                root=cache.root,
+                enabled=False,
+                stats=cache.stats,
+                mmap_arrays=cache.mmap_arrays,
+            )
         return cache
     if cache is None:
         return StageCache(enabled=enabled)

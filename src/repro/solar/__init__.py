@@ -19,6 +19,7 @@ from .irradiance_map import (
     RoofSolarField,
     SolarSimulationConfig,
     compute_roof_solar_field,
+    compute_roof_solar_field_dense_reference,
 )
 from .linke import LinkeTurbidityProfile
 from .position import (
@@ -31,7 +32,7 @@ from .position import (
     sunrise_sunset_hour,
 )
 from .shading import HorizonMap, compute_horizon_map, shadow_fraction_map
-from .time_series import TimeGrid, fast_time_grid, paper_time_grid
+from .time_series import CompressedTimeGrid, TimeGrid, fast_time_grid, paper_time_grid
 from .transposition import (
     PlaneOfArrayIrradiance,
     beam_on_plane,
@@ -57,6 +58,7 @@ __all__ = [
     "RoofSolarField",
     "SolarSimulationConfig",
     "compute_roof_solar_field",
+    "compute_roof_solar_field_dense_reference",
     "LinkeTurbidityProfile",
     "SolarPosition",
     "compute_solar_position",
@@ -68,6 +70,7 @@ __all__ = [
     "HorizonMap",
     "compute_horizon_map",
     "shadow_fraction_map",
+    "CompressedTimeGrid",
     "TimeGrid",
     "fast_time_grid",
     "paper_time_grid",

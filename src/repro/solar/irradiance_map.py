@@ -13,12 +13,26 @@ into a :class:`RoofSolarField`: for every *valid* element of the roof's
 virtual grid, the global irradiance time series G(i,j,t) incident on the
 module plane, plus the ambient temperature series T(t).  These are exactly
 the inputs the floorplanning algorithm of Section III consumes.
+
+Daylight compression
+--------------------
+At the paper's 15-minute annual resolution roughly half of the ~35,000 time
+steps are night rows in which every cell's irradiance is exactly zero.  The
+native representation of :class:`RoofSolarField` is therefore *daylight
+compressed*: :attr:`RoofSolarField.irradiance` holds only the kept rows
+(``(n_daylight, Ng)`` in the storage dtype) and a
+:class:`~repro.solar.time_series.CompressedTimeGrid` maps them back to the
+full axis.  Expansion is exact -- the dropped rows are zero by construction
+-- and every consumer that integrates, gathers or reduces over time runs on
+half the rows.  :func:`compute_roof_solar_field_dense_reference` keeps the
+original dense assembly as the ground truth for the equivalence tests and
+the solar-field benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +46,13 @@ from .decomposition import decompose_ghi
 from .linke import LinkeTurbidityProfile
 from .position import compute_solar_position
 from .shading import HorizonMap, compute_horizon_map
-from .time_series import TimeGrid
+from .time_series import CompressedTimeGrid, TimeGrid
 from .transposition import plane_of_array
+
+#: Byte budget of one transient float64 block in the chunked consumers
+#: (assembly, suitability, aggregate maps).  Small enough that even paper
+#: resolution (~35k steps) keeps transients in the tens of megabytes.
+_DENSE_BLOCK_BYTES = 16 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -60,17 +79,23 @@ class RoofSolarField:
     grid:
         The roof virtual grid the field is defined on.
     time_grid:
-        Temporal sampling.
+        Full-resolution temporal sampling.
     cells:
         Array ``(Ng, 2)`` of (row, col) indices of the valid grid elements,
         in the same order as the columns of :attr:`irradiance`.
     irradiance:
-        Array ``(n_time, Ng)``: plane-of-array global irradiance [W/m^2]
-        per time step and valid cell.
+        Array ``(n_daylight, Ng)`` (daylight-compressed, the native form) or
+        ``(n_time, Ng)`` (dense legacy form): plane-of-array global
+        irradiance [W/m^2] per kept time step and valid cell.
     temperature:
-        Array ``(n_time,)``: ambient temperature [degC].
+        Array ``(n_time,)``: ambient temperature [degC], always on the full
+        axis (night temperatures are real data, unlike night irradiance).
     sky_view:
         Array ``(Ng,)``: sky-view factor of each valid cell.
+    daylight:
+        The compressed time axis, or ``None`` for a dense field.  When set,
+        the rows it drops are exactly zero in the dense equivalent, so
+        :meth:`to_dense` is an exact expansion.
     """
 
     grid: RoofGrid
@@ -79,14 +104,25 @@ class RoofSolarField:
     irradiance: np.ndarray
     temperature: np.ndarray
     sky_view: np.ndarray
+    daylight: Optional[CompressedTimeGrid] = None
+
+    #: Large array fields the stage cache stores as raw ``.npy`` sidecars
+    #: (memory-mapped zero-copy by batch workers; see repro.runner.cache).
+    __cache_array_fields__ = ("irradiance",)
 
     def __post_init__(self) -> None:
         n_time = self.time_grid.n_samples
         n_cells = self.cells.shape[0]
-        if self.irradiance.shape != (n_time, n_cells):
+        if self.daylight is not None and self.daylight.n_full != n_time:
+            raise SolarModelError(
+                f"compressed axis covers {self.daylight.n_full} samples but the "
+                f"time grid has {n_time}"
+            )
+        expected_rows = n_time if self.daylight is None else self.daylight.n_daylight
+        if self.irradiance.shape != (expected_rows, n_cells):
             raise SolarModelError(
                 f"irradiance shape {self.irradiance.shape} does not match "
-                f"(n_time={n_time}, Ng={n_cells})"
+                f"(n_axis={expected_rows}, Ng={n_cells})"
             )
         if self.temperature.shape != (n_time,):
             raise SolarModelError("temperature must have one value per time sample")
@@ -103,8 +139,83 @@ class RoofSolarField:
 
     @property
     def n_time(self) -> int:
-        """Number of time samples."""
+        """Number of full-axis time samples."""
         return self.time_grid.n_samples
+
+    @property
+    def n_daylight(self) -> int:
+        """Number of stored (compressed-axis) time samples."""
+        return int(self.irradiance.shape[0])
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when the field stores the daylight-compressed axis."""
+        return self.daylight is not None
+
+    # -- axis routing --------------------------------------------------------------
+
+    @property
+    def time_axis(self) -> "TimeGrid | CompressedTimeGrid":
+        """The axis :attr:`irradiance` rows live on.
+
+        Both :class:`TimeGrid` and :class:`CompressedTimeGrid` provide
+        ``integrate_energy_wh`` with the same quadrature, so consumers can
+        integrate storage-aligned series without caring about compression.
+        """
+        return self.time_grid if self.daylight is None else self.daylight
+
+    @property
+    def axis_temperature(self) -> np.ndarray:
+        """Ambient temperature [degC] aligned with the rows of :attr:`irradiance`."""
+        ambient = np.asarray(self.temperature, dtype=float)
+        if self.daylight is None:
+            return ambient
+        return ambient[self.daylight.indices]
+
+    def expand_axis(self, values: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        """Expand a storage-axis series (axis 0) back to the full time axis."""
+        if self.daylight is None:
+            return np.asarray(values)
+        return self.daylight.expand(values, fill=fill)
+
+    def to_dense(self) -> np.ndarray:
+        """The exact dense ``(n_time, Ng)`` irradiance matrix (storage dtype).
+
+        For a compressed field the dropped rows are zero by construction,
+        so this reproduces the dense reference bit for bit.  It materialises
+        the full matrix -- prefer :meth:`iter_dense_blocks` for reductions.
+        """
+        if self.daylight is None:
+            return np.asarray(self.irradiance)
+        out = np.zeros((self.n_time, self.n_cells), dtype=self.irradiance.dtype)
+        out[self.daylight.indices, :] = self.irradiance
+        return out
+
+    def iter_dense_blocks(
+        self, max_columns: Optional[int] = None
+    ) -> Iterator[Tuple[slice, np.ndarray]]:
+        """Iterate dense float64 column blocks ``(column_slice, (n_time, c))``.
+
+        The chunked equivalent of ``irradiance.astype(float)``: consumers
+        that need full-axis statistics (percentiles include the night zeros!)
+        stream over bounded blocks instead of duplicating the whole field.
+        Each block is freshly allocated and safe to modify.
+        """
+        n_time = max(self.n_time, 1)
+        if max_columns is None:
+            max_columns = max(1, _DENSE_BLOCK_BYTES // (8 * n_time))
+        indices = None if self.daylight is None else self.daylight.indices
+        for start in range(0, self.n_cells, max_columns):
+            stop = min(start + max_columns, self.n_cells)
+            sl = slice(start, stop)
+            if indices is None:
+                # np.array (not asarray): a float64-stored field would
+                # otherwise yield an aliasing view of the matrix.
+                yield sl, np.array(self.irradiance[:, sl], dtype=np.float64)
+            else:
+                block = np.zeros((self.n_time, stop - start), dtype=np.float64)
+                block[indices, :] = self.irradiance[:, sl]
+                yield sl, block
 
     # -- accessors -----------------------------------------------------------------
 
@@ -132,11 +243,12 @@ class RoofSolarField:
         return index
 
     def irradiance_for_cell(self, row: int, col: int) -> np.ndarray:
-        """Irradiance time series [W/m^2] of one grid element."""
-        return np.asarray(self.irradiance[:, self.column_of(row, col)], dtype=float)
+        """Full-axis irradiance time series [W/m^2] of one grid element."""
+        column = np.asarray(self.irradiance[:, self.column_of(row, col)], dtype=float)
+        return self.expand_axis(column)
 
     def irradiance_for_cells(self, cells: np.ndarray) -> np.ndarray:
-        """Irradiance time series of several grid elements, shape ``(n_time, k)``.
+        """Full-axis irradiance of several grid elements, shape ``(n_time, k)``.
 
         Raises
         ------
@@ -149,7 +261,33 @@ class RoofSolarField:
         if np.any(invalid):
             row, col = cells_arr[int(np.argmax(invalid))]
             raise SolarModelError(f"grid element ({row}, {col}) is not a valid cell")
-        return np.asarray(self.irradiance[:, columns], dtype=float)
+        return self.expand_axis(np.asarray(self.irradiance[:, columns], dtype=float))
+
+    def restricted_to(self, grid: RoofGrid) -> "RoofSolarField":
+        """The field restricted to the valid cells of ``grid``.
+
+        The compressed axis and the temperature series are shared with this
+        field; the irradiance columns of the cells valid in ``grid`` are
+        *copied* (fancy indexing) into a new matrix, in
+        ``grid.valid_cells()`` order, so each restriction owns its (smaller)
+        block.  Every valid cell of ``grid`` must be valid here too.
+        """
+        cells = np.asarray(grid.valid_cells(), dtype=int)
+        columns = self._cell_lookup[cells[:, 0], cells[:, 1]]
+        if np.any(columns < 0):
+            row, col = cells[int(np.argmax(columns < 0))]
+            raise SolarModelError(
+                f"grid element ({row}, {col}) is not covered by the solar field"
+            )
+        return RoofSolarField(
+            grid=grid,
+            time_grid=self.time_grid,
+            cells=cells,
+            irradiance=self.irradiance[:, columns],
+            temperature=self.temperature,
+            sky_view=np.asarray(self.sky_view)[columns],
+            daylight=self.daylight,
+        )
 
     # -- aggregate maps ---------------------------------------------------------------
 
@@ -157,18 +295,29 @@ class RoofSolarField:
         """Per-cell q-th percentile of irradiance, as a full-grid map.
 
         Invalid cells are NaN.  This is the quantity Figure 6(b) of the
-        paper visualises (brighter colours = larger 75th percentile).
+        paper visualises (brighter colours = larger 75th percentile).  The
+        percentile is taken over the *full* axis -- the night zeros are part
+        of the distribution -- computed per column block, so no full-size
+        float64 copy of the field is ever materialised.
         """
-        values = np.percentile(self.irradiance.astype(float), q, axis=0)
+        values = np.empty(self.n_cells)
+        for sl, block in self.iter_dense_blocks():
+            values[sl] = np.percentile(block, q, axis=0)
         return self._scatter(values)
 
     def mean_map(self) -> np.ndarray:
-        """Per-cell mean irradiance map [W/m^2] (NaN outside the valid area)."""
-        return self._scatter(np.mean(self.irradiance.astype(float), axis=0))
+        """Per-cell mean irradiance map [W/m^2] (NaN outside the valid area).
+
+        Accumulates in float64 directly on the stored rows (the dropped
+        night rows contribute exactly zero to the sum), avoiding the
+        full-matrix ``astype(float)`` copy of the straightforward form.
+        """
+        totals = np.sum(self.irradiance, axis=0, dtype=np.float64)
+        return self._scatter(totals / float(max(self.n_time, 1)))
 
     def annual_insolation_map_kwh(self) -> np.ndarray:
         """Per-cell yearly insolation [kWh/m^2] (NaN outside the valid area)."""
-        totals = self.time_grid.integrate_energy_wh(self.irradiance)
+        totals = self.time_axis.integrate_energy_wh(self.irradiance)
         return self._scatter(np.asarray(totals) / 1e3)
 
     def _scatter(self, values: np.ndarray) -> np.ndarray:
@@ -177,32 +326,19 @@ class RoofSolarField:
         return grid_map
 
 
-def compute_roof_solar_field(
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def _poa_and_shading_inputs(
     scene: RoofScene,
     grid: RoofGrid,
     weather: WeatherSeries,
-    config: SolarSimulationConfig | None = None,
-    horizon_map: Optional[HorizonMap] = None,
-) -> RoofSolarField:
-    """Run the full solar-data extraction flow for a roof.
-
-    Parameters
-    ----------
-    scene:
-        Roof scene providing the DSM (shading) and the roof frame.
-    grid:
-        Virtual grid restricted to the suitable area.
-    weather:
-        Weather trace (synthetic or measured).  If it does not carry DNI/DHI
-        the configured decomposition model is applied.
-    config:
-        Simulation options.
-    horizon_map:
-        Pre-computed horizon map of the scene DSM; computed on the fly when
-        omitted (the dominant cost for large scenes, so callers running
-        several experiments on the same roof should pass it in).
-    """
-    cfg = config if config is not None else SolarSimulationConfig()
+    cfg: SolarSimulationConfig,
+    horizon_map: Optional[HorizonMap],
+):
+    """Shared front half of the solar assembly (positions, POA, horizon)."""
     time_grid = weather.time_grid
 
     position = compute_solar_position(
@@ -247,7 +383,7 @@ def compute_roof_solar_field(
         sky_model=cfg.sky_model,
     )
 
-    # 3. Shading: per-cell beam visibility and sky-view factor from the DSM.
+    # 3. Shading geometry: horizon map + per-cell DSM indices.
     if horizon_map is None:
         horizon_map = compute_horizon_map(
             scene.dsm.raster,
@@ -258,13 +394,143 @@ def compute_roof_solar_field(
     cells = grid.valid_cells()
     cell_dsm_rows = dsm_rows[cells[:, 0], cells[:, 1]]
     cell_dsm_cols = dsm_cols[cells[:, 0], cells[:, 1]]
+    sky_view = horizon_map.sky_view_factor()[cell_dsm_rows, cell_dsm_cols]
+
+    return time_grid, position, poa, horizon_map, cells, cell_dsm_rows, cell_dsm_cols, sky_view
+
+
+def compute_roof_solar_field(
+    scene: RoofScene,
+    grid: RoofGrid,
+    weather: WeatherSeries,
+    config: SolarSimulationConfig | None = None,
+    horizon_map: Optional[HorizonMap] = None,
+) -> RoofSolarField:
+    """Run the full solar-data extraction flow for a roof.
+
+    Parameters
+    ----------
+    scene:
+        Roof scene providing the DSM (shading) and the roof frame.
+    grid:
+        Virtual grid restricted to the suitable area.
+    weather:
+        Weather trace (synthetic or measured).  If it does not carry DNI/DHI
+        the configured decomposition model is applied.
+    config:
+        Simulation options.
+    horizon_map:
+        Pre-computed horizon map of the scene DSM; computed on the fly when
+        omitted (the dominant cost for large scenes, so callers running
+        several experiments on the same roof should pass it in).
+
+    Notes
+    -----
+    The returned field is daylight compressed: only the time steps with a
+    non-zero plane-of-array component are stored, and the assembly is
+    chunked over cells -- the transient boolean shadow mask and the float64
+    products cover one column block at a time, never the full
+    ``(n_time, Ng)`` matrix.  The values of the kept rows are bit-identical
+    to :func:`compute_roof_solar_field_dense_reference`, whose dropped rows
+    are exactly zero.
+    """
+    cfg = config if config is not None else SolarSimulationConfig()
+    (
+        time_grid,
+        position,
+        poa,
+        horizon_map,
+        cells,
+        cell_dsm_rows,
+        cell_dsm_cols,
+        sky_view,
+    ) = _poa_and_shading_inputs(scene, grid, weather, cfg, horizon_map)
+
+    beam = np.asarray(poa.beam, dtype=float)
+    sky_diffuse = np.asarray(poa.sky_diffuse, dtype=float)
+    ground = np.asarray(poa.ground_reflected, dtype=float)
+
+    # 4. Daylight compression: a dense row is all-zero exactly when every POA
+    # component is zero (the per-cell shading/sky-view factors only scale
+    # them).  Keeping any row with a non-zero component is always safe;
+    # dropped rows expand back to exact zeros.
+    keep = (beam != 0.0) | (sky_diffuse != 0.0) | (ground != 0.0)
+    daylight = CompressedTimeGrid.from_mask(time_grid, keep)
+    indices = daylight.indices
+
+    elevation = position.elevation_deg[indices]
+    azimuth = position.azimuth_deg[indices]
+    beam_d = beam[indices]
+    sky_d = sky_diffuse[indices]
+    ground_d = ground[indices]
+
+    # 5. Chunked per-cell assembly on the compressed axis.  The boolean
+    # shadow mask and the float64 block cover one column chunk at a time;
+    # the sector grouping of the time axis is precomputed once and shared
+    # across chunks.
+    dtype = np.dtype(cfg.store_dtype)
+    n_axis = int(indices.shape[0])
+    n_cells = cells.shape[0]
+    irradiance = np.empty((n_axis, n_cells), dtype=dtype)
+    chunk = max(1, _DENSE_BLOCK_BYTES // (8 * max(n_axis, 1)))
+    sky_view_arr = np.asarray(sky_view, dtype=float)
+    sector_groups = horizon_map.sector_time_groups(azimuth)
+    for start in range(0, n_cells, chunk):
+        sl = slice(start, min(start + chunk, n_cells))
+        lit = horizon_map.lit_mask_for_cells(
+            cell_dsm_rows[sl], cell_dsm_cols[sl], elevation, azimuth,
+            sector_groups=sector_groups,
+        )
+        # Same association order as the dense reference, so the float32 cast
+        # rounds identically.
+        irradiance[:, sl] = (
+            beam_d[:, None] * lit
+            + sky_d[:, None] * sky_view_arr[None, sl]
+            + ground_d[:, None]
+        )
+
+    return RoofSolarField(
+        grid=grid,
+        time_grid=time_grid,
+        cells=cells,
+        irradiance=irradiance,
+        temperature=np.asarray(weather.temperature, dtype=float),
+        sky_view=sky_view_arr,
+        daylight=daylight,
+    )
+
+
+def compute_roof_solar_field_dense_reference(
+    scene: RoofScene,
+    grid: RoofGrid,
+    weather: WeatherSeries,
+    config: SolarSimulationConfig | None = None,
+    horizon_map: Optional[HorizonMap] = None,
+) -> RoofSolarField:
+    """Original dense solar assembly, kept as the ground truth.
+
+    Materialises the full float64 ``(n_time, Ng)`` shadow matrix and the
+    dense broadcast products exactly like the seed implementation; the
+    compressed :func:`compute_roof_solar_field` must expand to its
+    ``irradiance`` bit for bit (the equivalence tests and the solar-field
+    benchmark rely on this).
+    """
+    cfg = config if config is not None else SolarSimulationConfig()
+    (
+        time_grid,
+        position,
+        poa,
+        horizon_map,
+        cells,
+        cell_dsm_rows,
+        cell_dsm_cols,
+        sky_view,
+    ) = _poa_and_shading_inputs(scene, grid, weather, cfg, horizon_map)
 
     lit = horizon_map.lit_fraction_for_cells(
         cell_dsm_rows, cell_dsm_cols, position.elevation_deg, position.azimuth_deg
     )
-    sky_view = horizon_map.sky_view_factor()[cell_dsm_rows, cell_dsm_cols]
 
-    # 4. Per-cell irradiance assembly.
     dtype = np.dtype(cfg.store_dtype)
     irradiance = (
         poa.beam[:, None] * lit

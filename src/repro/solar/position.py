@@ -135,9 +135,16 @@ def solar_elevation_azimuth(
     # Guard against division by zero at the zenith.
     safe_cos_elev = np.where(np.abs(cos_elev) < 1e-9, 1e-9, cos_elev)
     sin_az = np.cos(decl) * np.sin(ha) / safe_cos_elev
-    cos_az = (np.sin(elevation) * np.sin(lat) - np.sin(decl)) / (
-        safe_cos_elev * np.cos(lat) if abs(np.cos(lat)) > 1e-9 else 1e-9
-    )
+    # The textbook numerator sin(elev)*sin(lat) - sin(decl) carries a
+    # cos(lat) factor that cancels against the cos(lat) of the denominator;
+    # expanding the product analytically removes the division by cos(lat)
+    # altogether, so the expression stays finite and well-conditioned at the
+    # poles.  (A scalar 1e-9 clamp of the denominator used to drop the
+    # safe_cos_elev factor entirely within ~1e-7 degrees of |lat| = 90,
+    # corrupting the azimuth there.)
+    cos_az = (
+        np.cos(decl) * np.sin(lat) * np.cos(ha) - np.sin(decl) * np.cos(lat)
+    ) / safe_cos_elev
     sin_az = np.clip(sin_az, -1.0, 1.0)
     cos_az = np.clip(cos_az, -1.0, 1.0)
     azimuth = np.arctan2(sin_az, cos_az)

@@ -53,6 +53,10 @@ class HorizonMap:
     horizon_deg: np.ndarray
     pitch: float
 
+    #: Large array fields the stage cache stores as raw ``.npy`` sidecars
+    #: (memory-mapped zero-copy by batch workers; see repro.runner.cache).
+    __cache_array_fields__ = ("horizon_deg",)
+
     @property
     def n_sectors(self) -> int:
         """Number of azimuth sectors."""
@@ -83,14 +87,31 @@ class HorizonMap:
             return np.ones(self.shape, dtype=bool)
         return self.horizon_at(sun_azimuth_deg) > sun_elevation_deg
 
-    def lit_fraction_for_cells(
+    def sector_time_groups(
+        self, sun_azimuth_deg: np.ndarray
+    ) -> list[tuple[int, np.ndarray]]:
+        """Time-step indices grouped by azimuth sector.
+
+        Precompute this once when calling :meth:`lit_mask_for_cells` for
+        several cell chunks over the same sun-position series (the chunked
+        solar assembly) -- the grouping scans the whole time axis, which
+        would otherwise be repeated per chunk.
+        """
+        sectors = self.sector_index(np.asarray(sun_azimuth_deg, dtype=float))
+        return [
+            (int(sector), np.nonzero(sectors == sector)[0])
+            for sector in np.unique(sectors)
+        ]
+
+    def lit_mask_for_cells(
         self,
         rows: np.ndarray,
         cols: np.ndarray,
         sun_elevation_deg: np.ndarray,
         sun_azimuth_deg: np.ndarray,
+        sector_groups: "list[tuple[int, np.ndarray]] | None" = None,
     ) -> np.ndarray:
-        """Direct-beam visibility for a subset of cells over a time series.
+        """Boolean direct-beam visibility for a subset of cells over time.
 
         Parameters
         ----------
@@ -98,12 +119,25 @@ class HorizonMap:
             Arrays of equal length selecting the cells of interest.
         sun_elevation_deg, sun_azimuth_deg:
             Per-time-step sun position.
+        sector_groups:
+            Optional precomputed :meth:`sector_time_groups` of the azimuth
+            series, for callers looping over cell chunks.
 
         Returns
         -------
         numpy.ndarray
-            Array of shape ``(n_time, n_cells)`` with 1.0 where the cell sees
-            the solar disc and 0.0 where it is shaded (or the sun is down).
+            Boolean array of shape ``(n_time, n_cells)``, True where the
+            cell sees the solar disc, False where it is shaded (or the sun
+            is down).
+
+        Notes
+        -----
+        This is the memory-lean fast path: instead of gathering a float64
+        ``(n_time, n_cells)`` horizon matrix, the time steps are grouped by
+        azimuth sector and each group is compared against that sector's
+        horizon row, so the only full-size transient is the boolean result
+        itself (8x smaller).  :meth:`lit_fraction_for_cells` wraps it for
+        callers that still need the float 0/1 matrix.
         """
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
@@ -114,11 +148,31 @@ class HorizonMap:
         if elevation.shape != azimuth.shape:
             raise GISError("elevation and azimuth must have the same shape")
 
-        sectors = self.sector_index(azimuth)  # (n_time,)
+        if sector_groups is None:
+            sector_groups = self.sector_time_groups(azimuth)
         horizon_cells = self.horizon_deg[:, rows, cols]  # (n_sectors, n_cells)
-        horizon_per_time = horizon_cells[sectors, :]  # (n_time, n_cells)
-        lit = (elevation[:, None] > horizon_per_time) & (elevation[:, None] > 0.0)
-        return lit.astype(float)
+        lit = np.empty((elevation.shape[0], rows.shape[0]), dtype=bool)
+        for sector, steps in sector_groups:
+            lit[steps] = elevation[steps, None] > horizon_cells[sector][None, :]
+        lit &= (elevation > 0.0)[:, None]
+        return lit
+
+    def lit_fraction_for_cells(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        sun_elevation_deg: np.ndarray,
+        sun_azimuth_deg: np.ndarray,
+    ) -> np.ndarray:
+        """Direct-beam visibility (1.0 lit / 0.0 shaded) as float64.
+
+        Float compatibility wrapper over :meth:`lit_mask_for_cells`; callers
+        that only need the mask should use the boolean fast path directly
+        (8x less transient memory).
+        """
+        return self.lit_mask_for_cells(
+            rows, cols, sun_elevation_deg, sun_azimuth_deg
+        ).astype(float)
 
     def sky_view_factor(self) -> np.ndarray:
         """Sky-view factor per cell (fraction of the visible sky dome, 0..1).

@@ -378,22 +378,7 @@ class TestILPAndExhaustive:
         mask = np.zeros_like(small_grid.valid_mask)
         mask[2:8, 2:22] = small_grid.valid_mask[2:8, 2:22]
         grid = small_grid.with_mask(mask)
-        solar = None
-        # Rebuild a solar field view restricted to the same grid: reuse the
-        # existing one (shapes match) -- the problem only needs valid cells
-        # to be a subset of the solar field's cells.
-        from repro.solar.irradiance_map import RoofSolarField
-
-        cells = grid.valid_cells()
-        columns = [small_solar.column_of(int(r), int(c)) for r, c in cells]
-        solar = RoofSolarField(
-            grid=grid,
-            time_grid=small_solar.time_grid,
-            cells=cells,
-            irradiance=small_solar.irradiance[:, columns],
-            temperature=small_solar.temperature,
-            sky_view=small_solar.sky_view[columns],
-        )
+        solar = small_solar.restricted_to(grid)
         return FloorplanProblem(
             grid=grid,
             solar=solar,

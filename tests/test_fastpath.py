@@ -127,8 +127,9 @@ class TestSolarFieldAccessors:
         cells = small_solar.cells[::3]
         fast = small_solar.irradiance_for_cells(cells)
         columns = [small_solar.column_of(int(r), int(c)) for r, c in cells]
-        reference = np.asarray(small_solar.irradiance[:, columns], dtype=float)
+        reference = np.asarray(small_solar.to_dense()[:, columns], dtype=float)
         assert fast.dtype == np.float64
+        assert fast.shape == (small_solar.n_time, len(columns))
         assert np.array_equal(reference, fast)
 
     def test_irradiance_for_cells_rejects_invalid_cell(self, small_solar):
@@ -141,11 +142,10 @@ class TestSolarFieldAccessors:
 
     def test_annual_insolation_matches_per_column_integration(self, small_solar):
         fast = small_solar.annual_insolation_map_kwh()
+        dense = small_solar.to_dense()
         totals = np.array(
             [
-                small_solar.time_grid.integrate_energy_wh(
-                    small_solar.irradiance[:, k].astype(float)
-                )
+                small_solar.time_grid.integrate_energy_wh(dense[:, k].astype(float))
                 for k in range(small_solar.n_cells)
             ]
         )
@@ -156,12 +156,12 @@ class TestSolarFieldAccessors:
         assert _relative_error(fast[finite], reference[finite]) < RELATIVE_TOLERANCE
 
     def test_integrate_energy_wh_batched_matches_scalar(self, small_solar):
-        time_grid = small_solar.time_grid
+        time_axis = small_solar.time_axis
         block = np.asarray(small_solar.irradiance[:, :5])
-        batched = time_grid.integrate_energy_wh(block)
+        batched = time_axis.integrate_energy_wh(block)
         assert isinstance(batched, np.ndarray)
         for k in range(block.shape[1]):
-            scalar = time_grid.integrate_energy_wh(block[:, k].astype(float))
+            scalar = time_axis.integrate_energy_wh(block[:, k].astype(float))
             assert isinstance(scalar, float)
             assert abs(batched[k] - scalar) <= RELATIVE_TOLERANCE * max(abs(scalar), 1.0)
 

@@ -363,7 +363,18 @@ class TestRoofSolarField:
     def test_field_dimensions(self, small_solar, small_grid, small_time_grid):
         assert small_solar.n_cells == small_grid.n_valid
         assert small_solar.n_time == small_time_grid.n_samples
-        assert small_solar.irradiance.shape == (small_solar.n_time, small_solar.n_cells)
+        # The native representation is daylight compressed: only the sun-up
+        # rows are stored, and the exact dense expansion restores the rest.
+        assert small_solar.is_compressed
+        assert 0 < small_solar.n_daylight < small_solar.n_time
+        assert small_solar.irradiance.shape == (
+            small_solar.n_daylight,
+            small_solar.n_cells,
+        )
+        assert small_solar.to_dense().shape == (
+            small_solar.n_time,
+            small_solar.n_cells,
+        )
 
     def test_irradiance_non_negative_and_bounded(self, small_solar):
         assert float(small_solar.irradiance.min()) >= 0.0
