@@ -37,6 +37,8 @@ Sub-packages
                       the built-in scenario catalog
 ``repro.runner``      content-hash stage cache, solver registry, cached
                       staged pipeline, parallel batch runner (JSONL store)
+``repro.sweep``       declarative sweep engine (axis grids over scenarios),
+                      aggregation and deterministic report presets
 ``repro.experiments`` the paper's case studies and per-table/figure drivers
 ``repro.cli``         the ``repro`` / ``python -m repro`` command line
 """
@@ -174,6 +176,24 @@ def plan_roof(
         Optional :class:`~repro.runner.StageCache`; when given, the scene,
         grid and solar-field stages are memoised on disk and reused across
         calls that share a roof/weather/time base.
+
+    Example
+    -------
+    A coarse two-module plan of a small bare roof (coarser sampling keeps
+    the example fast; drop the overrides for production resolution):
+
+    >>> from repro import TimeGrid, plan_roof
+    >>> from repro.gis import RoofSpec
+    >>> roof = RoofSpec(name="doc-roof", width_m=6.0, depth_m=4.0,
+    ...                 tilt_deg=30.0, azimuth_deg=0.0)
+    >>> result = plan_roof(roof, n_modules=2, grid_pitch=0.4,
+    ...                    time_grid=TimeGrid(step_minutes=240.0, day_stride=45))
+    >>> result.problem.n_modules
+    2
+    >>> result.comparison.candidate.annual_energy_mwh > 0
+    True
+    >>> result.solver_name
+    'greedy'
     """
     problem, stage_cached, _ = prepare_problem(
         spec,

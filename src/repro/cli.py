@@ -13,10 +13,18 @@ Subcommands
 ``compare``
     Run several solvers on the same scenario (sharing every cached stage)
     and print a side-by-side table.
+``sweep``
+    Expand a declarative sweep -- a plan file, or a base scenario plus
+    ``--axis path=v1,v2,...`` flags -- through the cached batch runner and
+    print/store the aggregated table.
+``report``
+    Generate a paper-artifact report preset (``table1``, ``catalog``) as
+    deterministic Markdown or CSV.
 
-All subcommands share the stage-cache flags: ``--cache-dir`` points the
-content-addressed store somewhere explicit (default: ``$REPRO_CACHE_DIR``
-or ``~/.cache/repro``), ``--no-cache`` bypasses it.
+All pipeline-running subcommands share the stage-cache flags:
+``--cache-dir`` points the content-addressed store somewhere explicit
+(default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), ``--no-cache``
+bypasses it.  See ``docs/cli.md`` for a full walkthrough.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .errors import ReproError
 from .runner.batch import run_batch
@@ -34,6 +42,8 @@ from .runner.solvers import available_solvers
 from .runner.stages import run_scenario
 from .scenario.catalog import builtin_scenarios, get_scenario
 from .scenario.spec import ScenarioSpec, SolverSpec
+from .sweep import SweepAxis, SweepPlan, run_sweep
+from .sweep.report import available_presets, generate_report, sweep_report
 
 
 def _cache_from_args(args: argparse.Namespace) -> StageCache:
@@ -172,6 +182,133 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_argument(text: str) -> SweepAxis:
+    """Parse one ``--axis path=v1,v2,...`` flag into a :class:`SweepAxis`.
+
+    Each comma-separated token is parsed as JSON when possible (numbers,
+    booleans, ``null``) and kept as a plain string otherwise, so
+    ``--axis weather.seed=1,2,3`` yields integers while
+    ``--axis solver.name=greedy,traditional`` yields strings.
+    """
+    path, sep, values_text = text.partition("=")
+    if not sep or not path or not values_text:
+        raise ReproError(f"malformed --axis {text!r}; expected path=v1,v2,...")
+    values: List[Any] = []
+    for token in values_text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(json.loads(token))
+        except json.JSONDecodeError:
+            values.append(token)
+    if not values:
+        raise ReproError(f"--axis {text!r} has no values")
+    return SweepAxis(path, tuple(values))
+
+
+def _load_sweep_plan(args: argparse.Namespace) -> SweepPlan:
+    """Build the sweep plan from a plan file or from --base/--axis flags."""
+    if args.plan:
+        if args.base or args.axis:
+            raise ReproError("pass either a plan file or --base/--axis, not both")
+        if args.zip or args.name:
+            raise ReproError(
+                "--zip/--name only apply to ad-hoc --base/--axis sweeps; "
+                "set the mode and name inside the plan file instead"
+            )
+        path = Path(args.plan)
+        if not path.exists():
+            raise ReproError(f"sweep plan file {args.plan!r} does not exist")
+        return SweepPlan.load(path)
+    if not args.base or not args.axis:
+        raise ReproError("a sweep needs a plan file, or --base plus at least one --axis")
+    base = _load_scenario(args.base)
+    axes = tuple(_parse_axis_argument(text) for text in args.axis)
+    return SweepPlan(
+        name=args.name if args.name else f"sweep-{base.name}",
+        base=base,
+        axes=axes,
+        mode="zip" if args.zip else "grid",
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    plan = _load_sweep_plan(args)
+    if args.save_plan:
+        plan.save(args.save_plan)
+        print(f"sweep plan written to {args.save_plan}")
+    cache = _cache_from_args(args)
+    sweep = run_sweep(
+        plan,
+        cache=cache,
+        jobs=args.jobs,
+        results_path=args.results,
+        use_cache=not args.no_cache,
+        parallel=not args.serial,
+    )
+    artifact = sweep_report(sweep)
+    print(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
+    summary = sweep.summary()
+    recomputes = summary["cache_recomputes_by_stage"]
+    note = (
+        ", ".join(f"{stage}={count}" for stage, count in sorted(recomputes.items()))
+        if recomputes
+        else "none"
+    )
+    print(
+        f"\nsweep {plan.name!r}: {sweep.n_points} points with {sweep.jobs} "
+        f"worker(s) in {sweep.runtime_s:.2f}s; stage recomputations: {note}",
+        file=sys.stderr,
+    )
+    if args.output:
+        sweep.save(args.output)
+        print(f"sweep result written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    kwargs: dict = {}
+    if args.preset == "table1":
+        from .experiments import CaseStudyConfig, Table1Config
+
+        module_counts = tuple(
+            int(token) for token in args.modules.split(",") if token.strip()
+        )
+        if not module_counts:
+            raise ReproError("--modules needs at least one module count")
+        config = Table1Config(
+            module_counts=module_counts,
+            series_length=args.series_length,
+            case_study=CaseStudyConfig(
+                scale=args.scale,
+                time_step_minutes=args.step_minutes,
+                day_stride=args.day_stride,
+            ),
+            solver=args.solver,
+        )
+        kwargs = {
+            "config": config,
+            "roofs": (
+                tuple(token for token in args.roofs.split(",") if token.strip())
+                if args.roofs
+                else None
+            ),
+            "cache": _cache_from_args(args),
+            "jobs": args.jobs,
+            "use_cache": not args.no_cache,
+            "parallel": not args.serial,
+        }
+    artifact = generate_report(args.preset, **kwargs)
+    text = artifact.text(args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"{args.preset} report written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser assembly
 # ---------------------------------------------------------------------------
@@ -236,6 +373,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="expand and run a declarative sweep through the cached runner"
+    )
+    sweep_parser.add_argument(
+        "plan", nargs="?", default=None, help="sweep plan JSON file (see docs/cli.md)"
+    )
+    sweep_parser.add_argument(
+        "--base", default=None, help="base scenario (built-in name or JSON file)"
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="sweep axis as dotted override path plus values (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--zip", action="store_true", help="pair axes element-wise instead of the grid"
+    )
+    sweep_parser.add_argument("--name", default=None, help="name of the ad-hoc sweep")
+    sweep_parser.add_argument(
+        "--save-plan", default=None, help="write the expanded plan JSON here"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count)"
+    )
+    sweep_parser.add_argument(
+        "--serial", action="store_true", help="run in-process without worker processes"
+    )
+    sweep_parser.add_argument(
+        "--results", default=None, help="write per-point JSONL records here"
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, help="write the aggregated sweep result JSON here"
+    )
+    sweep_parser.add_argument(
+        "--format",
+        default="markdown",
+        choices=("markdown", "csv"),
+        help="stdout table format",
+    )
+    _add_cache_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = subparsers.add_parser(
+        "report", help="generate a paper-artifact report preset"
+    )
+    report_parser.add_argument(
+        "--preset",
+        required=True,
+        choices=available_presets(),
+        help="which artifact to generate",
+    )
+    report_parser.add_argument(
+        "--format",
+        default="markdown",
+        choices=("markdown", "csv"),
+        help="artifact format",
+    )
+    report_parser.add_argument("--output", default=None, help="write the artifact here")
+    report_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="[table1] case-study scale (1.0 = paper-sized roofs)",
+    )
+    report_parser.add_argument(
+        "--modules",
+        default="16,32",
+        help="[table1] comma-separated module counts (default: 16,32)",
+    )
+    report_parser.add_argument(
+        "--series-length",
+        type=int,
+        default=8,
+        help="[table1] modules per series string (default: 8)",
+    )
+    report_parser.add_argument(
+        "--roofs", default=None, help="[table1] comma-separated subset of roof names"
+    )
+    report_parser.add_argument(
+        "--step-minutes",
+        type=float,
+        default=60.0,
+        help="[table1] simulation time step (default: 60)",
+    )
+    report_parser.add_argument(
+        "--day-stride",
+        type=int,
+        default=7,
+        help="[table1] simulate every k-th day (default: 7)",
+    )
+    report_parser.add_argument(
+        "--solver",
+        default="greedy",
+        choices=available_solvers(),
+        help="[table1] proposed-placement solver (default: greedy)",
+    )
+    report_parser.add_argument(
+        "--jobs", type=int, default=None, help="[table1] worker processes"
+    )
+    report_parser.add_argument(
+        "--serial", action="store_true", help="[table1] run without worker processes"
+    )
+    _add_cache_arguments(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
 
     return parser
 

@@ -5,10 +5,23 @@ For each of the three case-study roofs and for N in {16, 32} modules
 greedy placement are generated and evaluated over the simulated year; the
 report lists the yearly production of both and the relative improvement,
 exactly like Table I of the paper.
+
+Two execution paths produce the table:
+
+* :func:`run_table1_sweep` -- the canonical artifact generator: the roof x N
+  grid is expressed as a declarative :class:`~repro.sweep.SweepPlan` and
+  executed through the cached batch runner, so repeated reproductions reuse
+  every expensive stage from the disk cache (``repro report --preset
+  table1`` on the command line).
+* :func:`run_table1` -- the legacy object-level driver, kept both for rich
+  programmatic access (it returns the problems, solver outcomes and case
+  studies, which the figures and benchmarks consume) and as the ground
+  truth the sweep-driven rows are equivalence-tested against row-for-row.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -18,7 +31,18 @@ from ..core.evaluation import PlacementComparison
 from ..errors import ConfigurationError
 from ..pv.datasheet import PV_MF165EB3, ModuleDatasheet
 from ..runner.solvers import SolverOutcome, solve
-from .roofs import CaseStudy, CaseStudyConfig, prepare_all_case_studies
+from ..scenario.spec import (
+    ScenarioSpec,
+    SolarSpec,
+    SolverSpec,
+    TimeSpec,
+    WeatherSpec,
+    roof_spec_to_dict,
+)
+from ..solar.irradiance_map import SolarSimulationConfig
+from ..sweep.aggregate import SweepResult
+from ..sweep.grid import SweepAxis, SweepPlan
+from .roofs import CaseStudy, CaseStudyConfig, case_study_specs, prepare_all_case_studies
 
 
 @dataclass(frozen=True)
@@ -136,7 +160,13 @@ def run_table1(
     case_studies: Optional[Dict[str, CaseStudy]] = None,
     roofs: Optional[Iterable[str]] = None,
 ) -> Table1Results:
-    """Run the full Table I experiment.
+    """Run the full Table I experiment (legacy object-level driver).
+
+    This is the reference path: it materialises the case studies once and
+    keeps the rich intermediate objects (problems, solver outcomes) in the
+    returned :class:`Table1Results`.  The canonical *artifact* generator is
+    :func:`run_table1_sweep`, whose rows are equivalence-tested to match
+    this driver's report exactly.
 
     Parameters
     ----------
@@ -171,6 +201,140 @@ def run_table1(
                 )
             )
     return Table1Results(entries=entries, report=report, case_studies=studies)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-engine path (the canonical artifact generator)
+# ---------------------------------------------------------------------------
+
+
+def _solar_spec_from_config(config: SolarSimulationConfig) -> SolarSpec:
+    """Express a materialised solar configuration as a declarative SolarSpec."""
+    if config.store_dtype != "float32":
+        raise ConfigurationError(
+            "the declarative scenario path stores solar fields as float32; "
+            f"cannot express store_dtype={config.store_dtype!r}"
+        )
+    return SolarSpec(
+        sky_model=config.sky_model,
+        decomposition_model=config.decomposition_model,
+        albedo=config.albedo,
+        n_horizon_sectors=config.n_horizon_sectors,
+        horizon_max_distance_m=config.horizon_max_distance_m,
+        linke_turbidity=tuple(config.linke_turbidity.monthly_values),
+    )
+
+
+def table1_sweep_plan(
+    config: Table1Config | None = None,
+    roofs: Optional[Iterable[str]] = None,
+) -> SweepPlan:
+    """The Table I experiment as a declarative roof x N sweep plan.
+
+    The base scenario mirrors the legacy driver's configuration exactly
+    (same roofs, weather seed, time base, irradiance options, datasheet and
+    solver), and the two axes -- the roof and the module count -- expand in
+    the legacy row order (roofs outer, module counts inner).  Running the
+    plan through :func:`repro.sweep.run_sweep` therefore reproduces the
+    legacy table row-for-row while reusing every cached stage.
+    """
+    cfg = config if config is not None else Table1Config()
+    if not cfg.include_wiring_loss:
+        raise ConfigurationError(
+            "the scenario pipeline always includes the wiring loss; "
+            "include_wiring_loss=False is only supported by the legacy driver"
+        )
+    case_cfg = cfg.case_study
+    roof_specs = case_study_specs(case_cfg.scale)
+    selected = list(roofs) if roofs is not None else list(roof_specs)
+    if not selected:
+        raise ConfigurationError("at least one roof is required")
+    unknown = [name for name in selected if name not in roof_specs]
+    if unknown:
+        raise ConfigurationError(f"unknown case-study roofs: {unknown}")
+
+    base = ScenarioSpec(
+        name="table1",
+        roof=roof_specs[selected[0]],
+        n_modules=cfg.module_counts[0],
+        n_series=cfg.series_length,
+        module=dataclasses.asdict(cfg.datasheet),
+        grid_pitch=case_cfg.grid_pitch,
+        dsm_pitch=case_cfg.dsm_pitch,
+        time=TimeSpec(
+            step_minutes=case_cfg.time_step_minutes, day_stride=case_cfg.day_stride
+        ),
+        weather=WeatherSpec(seed=case_cfg.weather_seed),
+        solar=_solar_spec_from_config(case_cfg.solar),
+        solver=SolverSpec(name=cfg.solver, options=dict(cfg.solver_options)),
+        description="Paper Table I reproduction (sweep-engine path)",
+        tags=("table1",),
+    )
+    axes = (
+        SweepAxis(
+            "roof",
+            tuple(roof_spec_to_dict(roof_specs[name]) for name in selected),
+            labels=tuple(selected),
+        ),
+        SweepAxis("n_modules", tuple(cfg.module_counts)),
+    )
+    return SweepPlan(
+        name="table1",
+        base=base,
+        axes=axes,
+        mode="grid",
+        description="Paper Table I: roof x module-count grid",
+    )
+
+
+@dataclass
+class Table1SweepResults:
+    """Outcome of the sweep-driven Table I reproduction."""
+
+    sweep: SweepResult
+    report: Table1Report
+
+
+def run_table1_sweep(
+    config: Table1Config | None = None,
+    roofs: Optional[Iterable[str]] = None,
+    cache: object = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    parallel: bool = True,
+) -> Table1SweepResults:
+    """Reproduce Table I through the declarative sweep engine.
+
+    Expands :func:`table1_sweep_plan` and streams it through the cached
+    batch runner; the returned report's rows match the legacy
+    :func:`run_table1` output exactly (equivalence-tested), and warm
+    re-runs serve every expensive stage from the cache.
+    """
+    from ..sweep import run_sweep
+
+    plan = table1_sweep_plan(config, roofs)
+    sweep = run_sweep(
+        plan,
+        cache=cache,
+        jobs=jobs,
+        use_cache=use_cache,
+        parallel=parallel,
+    )
+    report = Table1Report()
+    for point in sweep.points:
+        result = point.result
+        report.add_row(
+            Table1Row(
+                roof=point.labels["roof"],
+                grid_w=result.grid_cols,
+                grid_h=result.grid_rows,
+                n_valid=result.n_valid_cells,
+                n_modules=result.n_modules,
+                traditional_mwh=result.baseline_energy_mwh,
+                proposed_mwh=result.annual_energy_mwh,
+            )
+        )
+    return Table1SweepResults(sweep=sweep, report=report)
 
 
 #: The values printed in the paper's Table I, used by EXPERIMENTS.md and by

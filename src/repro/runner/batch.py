@@ -42,6 +42,24 @@ from .stages import ScenarioResult, run_scenario
 INFLIGHT_PER_WORKER = 2
 
 
+def count_stage_flags(
+    results: Sequence[ScenarioResult], cached: bool
+) -> Dict[str, int]:
+    """Tally per-stage cache provenance across scenario results.
+
+    ``cached=True`` counts results whose stage was served from the cache,
+    ``cached=False`` counts recomputations.  Every stage that appears in any
+    result's provenance map gets an entry (possibly zero), so hit and miss
+    tallies always cover the same stage set.  Shared by the batch- and
+    sweep-level accounting so the two can never drift apart.
+    """
+    counts: Dict[str, int] = {}
+    for result in results:
+        for stage, hit in result.stage_cached.items():
+            counts[stage] = counts.get(stage, 0) + (1 if hit == cached else 0)
+    return counts
+
+
 @dataclass
 class BatchResult:
     """Outcome of one batch run."""
@@ -63,11 +81,19 @@ class BatchResult:
 
     def cache_hit_counts(self) -> Dict[str, int]:
         """Per-stage count of scenarios served from the cache."""
-        counts: Dict[str, int] = {}
-        for result in self.results:
-            for stage, hit in result.stage_cached.items():
-                counts[stage] = counts.get(stage, 0) + (1 if hit else 0)
-        return counts
+        return count_stage_flags(self.results, cached=True)
+
+    def cache_miss_counts(self) -> Dict[str, int]:
+        """Per-stage count of scenarios that *recomputed* the stage.
+
+        The complement of :meth:`cache_hit_counts` over the same provenance
+        records: ``misses[stage]`` scenarios had to recompute ``stage``
+        because no cache entry existed (or the cache was disabled).  A warm
+        re-run of an unchanged fleet must report zero misses for every
+        expensive stage -- the sweep engine's reuse accounting asserts
+        exactly that.
+        """
+        return count_stage_flags(self.results, cached=False)
 
     def summary(self) -> dict:
         """Aggregate figures for reports and the CLI."""
@@ -77,6 +103,7 @@ class BatchResult:
             "runtime_s": self.runtime_s,
             "total_energy_mwh": sum(r.annual_energy_mwh for r in self.results),
             "cache_hits_by_stage": self.cache_hit_counts(),
+            "cache_misses_by_stage": self.cache_miss_counts(),
             "results_path": None if self.results_path is None else str(self.results_path),
         }
 
@@ -140,6 +167,30 @@ def run_batch(
         Set False to bypass the stage cache entirely.
     parallel:
         Convenience switch for forcing serial execution.
+
+    Example
+    -------
+    A one-scenario serial batch (parallel batches are bit-for-bit
+    identical; ``use_cache=False`` keeps the example self-contained):
+
+    >>> from repro.gis import RoofSpec
+    >>> from repro.runner import run_batch
+    >>> from repro.scenario import ScenarioSpec, TimeSpec
+    >>> spec = ScenarioSpec(
+    ...     name="doc-batch",
+    ...     roof=RoofSpec(name="doc-roof", width_m=6.0, depth_m=4.0,
+    ...                   tilt_deg=30.0, azimuth_deg=0.0),
+    ...     n_modules=2, n_series=2, grid_pitch=0.4,
+    ...     time=TimeSpec(step_minutes=240.0, day_stride=45),
+    ... )
+    >>> batch = run_batch([spec], parallel=False, use_cache=False)
+    >>> batch.n_scenarios
+    1
+    >>> batch.results[0].annual_energy_mwh > 0
+    True
+    >>> sorted(batch.summary())  # doctest: +NORMALIZE_WHITESPACE
+    ['cache_hits_by_stage', 'cache_misses_by_stage', 'jobs', 'n_scenarios',
+     'results_path', 'runtime_s', 'total_energy_mwh']
     """
     specs = list(specs)
     if not specs:

@@ -136,6 +136,25 @@ class StageCache:
         When True (the default, overridable via ``REPRO_CACHE_MMAP=0``)
         array sidecars are reattached as read-only memory maps instead of
         in-memory copies.
+
+    Example
+    -------
+    The cache is content-addressed: the payload *is* the key, and the
+    compute callable only runs on a miss.
+
+    >>> import tempfile
+    >>> from repro.runner import StageCache
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> cache = StageCache(root=tmp.name)
+    >>> cache.get_or_compute("stage", {"pitch": 0.4}, lambda: "computed")
+    ('computed', False)
+    >>> cache.get_or_compute("stage", {"pitch": 0.4}, lambda: "never called")
+    ('computed', True)
+    >>> cache.get_or_compute("stage", {"pitch": 0.5}, lambda: "other key")
+    ('other key', False)
+    >>> cache.stats.as_dict()
+    {'hits': 1, 'misses': 2, 'writes': 2}
+    >>> tmp.cleanup()
     """
 
     root: Path = field(default_factory=default_cache_dir)

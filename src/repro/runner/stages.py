@@ -293,6 +293,8 @@ class ScenarioResult:
     solver: str
     n_modules: int
     n_valid_cells: int
+    grid_cols: int
+    grid_rows: int
     annual_energy_mwh: float
     baseline_energy_mwh: float
     improvement_percent: float
@@ -311,6 +313,8 @@ class ScenarioResult:
             "solver": self.solver,
             "n_modules": self.n_modules,
             "n_valid_cells": self.n_valid_cells,
+            "grid_cols": self.grid_cols,
+            "grid_rows": self.grid_rows,
             "annual_energy_mwh": self.annual_energy_mwh,
             "baseline_energy_mwh": self.baseline_energy_mwh,
             "improvement_percent": self.improvement_percent,
@@ -330,6 +334,8 @@ class ScenarioResult:
             solver=str(data["solver"]),
             n_modules=int(data["n_modules"]),
             n_valid_cells=int(data["n_valid_cells"]),
+            grid_cols=int(data.get("grid_cols", 0)),
+            grid_rows=int(data.get("grid_rows", 0)),
             annual_energy_mwh=float(data["annual_energy_mwh"]),
             baseline_energy_mwh=float(data["baseline_energy_mwh"]),
             improvement_percent=float(data["improvement_percent"]),
@@ -445,6 +451,8 @@ def run_scenario(
         solver=spec.solver.name,
         n_modules=spec.n_modules,
         n_valid_cells=problem.grid.n_valid,
+        grid_cols=problem.grid.n_cols,
+        grid_rows=problem.grid.n_rows,
         annual_energy_mwh=comparison.candidate.annual_energy_mwh,
         baseline_energy_mwh=comparison.baseline.annual_energy_mwh,
         improvement_percent=comparison.improvement_percent,

@@ -8,6 +8,7 @@ from .spec import (
     SolverSpec,
     TimeSpec,
     WeatherSpec,
+    apply_scenario_overrides,
     roof_spec_from_dict,
     roof_spec_to_dict,
 )
@@ -15,6 +16,7 @@ from .spec import (
 __all__ = [
     "SCENARIO_FORMAT_VERSION",
     "ScenarioSpec",
+    "apply_scenario_overrides",
     "SolarSpec",
     "SolverSpec",
     "TimeSpec",

@@ -19,6 +19,7 @@ purposes:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -331,6 +332,77 @@ class SolverSpec:
 
 
 # ---------------------------------------------------------------------------
+# Axis overrides
+#
+# The sweep engine (:mod:`repro.sweep`) varies scenarios along declarative
+# *axes*: dotted paths into the scenario's dictionary form ("n_modules",
+# "weather.seed", "solver.name", "module.gamma_p_per_k", "roof", ...).
+# Applying an override is a pure dictionary transformation, so every sweep
+# point remains JSON-round-trippable by construction and derives its cache
+# keys exactly like a hand-written scenario would.
+# ---------------------------------------------------------------------------
+
+
+def apply_scenario_overrides(
+    data: Mapping[str, Any], overrides: Mapping[str, Any]
+) -> dict:
+    """Apply dotted-path overrides to a scenario dictionary.
+
+    Returns a new dictionary; ``data`` is not modified.  Paths must address
+    existing keys (guarding against typos such as ``weather.sed``) with two
+    deliberate exceptions:
+
+    * ``solver.options.<key>`` may introduce new keys -- solver options are
+      a free-form mapping forwarded to the solver's config dataclass;
+    * a plain-string ``solver`` value is shorthand for
+      ``{"name": value, "options": {}}``.
+
+    Overriding ``module.<field>`` when the scenario references a datasheet
+    by registry name first expands the name into its full field dictionary,
+    so single-field datasheet axes (e.g. a temperature-coefficient sweep)
+    work against named modules too.
+    """
+    result = json.loads(json.dumps(dict(data)))  # deep, JSON-faithful copy
+    for path, value in overrides.items():
+        _assign_override(result, str(path), value)
+    return result
+
+
+def _assign_override(data: dict, path: str, value: Any) -> None:
+    parts = path.split(".")
+    if not all(parts):
+        raise ConfigurationError(f"malformed override path {path!r}")
+
+    if parts[0] == "solver" and len(parts) == 1 and isinstance(value, str):
+        value = {"name": value, "options": {}}
+    if parts[0] == "module" and len(parts) > 1 and isinstance(data.get("module"), str):
+        data["module"] = dataclasses.asdict(get_datasheet(data["module"]))
+
+    node = data
+    for key in parts[:-1]:
+        if key not in node:
+            known = ", ".join(sorted(node))
+            raise ConfigurationError(
+                f"override path {path!r} addresses unknown key {key!r}; known: {known}"
+            )
+        child = node[key]
+        if not isinstance(child, dict):
+            raise ConfigurationError(
+                f"override path {path!r} does not address a mapping at {key!r}"
+            )
+        node = child
+    leaf = parts[-1]
+    # New keys are only allowed where the schema is free-form by design.
+    free_form = len(parts) >= 2 and parts[-2] == "options"
+    if leaf not in node and not free_form:
+        known = ", ".join(sorted(node))
+        raise ConfigurationError(
+            f"override path {path!r} addresses unknown key {leaf!r}; known: {known}"
+        )
+    node[leaf] = json.loads(json.dumps(value))  # detach from the caller
+
+
+# ---------------------------------------------------------------------------
 # The scenario itself
 # ---------------------------------------------------------------------------
 
@@ -362,6 +434,20 @@ class ScenarioSpec:
         Whether modules may be rotated by 90 degrees during placement.
     description, tags:
         Free-form catalog metadata (not part of any content key).
+
+    Example
+    -------
+    Scenarios are JSON-round-trippable documents; the dictionary/JSON form
+    is the storage, transport *and* cache-key format:
+
+    >>> from repro.scenario import ScenarioSpec, get_scenario
+    >>> spec = get_scenario("residential-south")
+    >>> ScenarioSpec.from_json(spec.to_json()).to_dict() == spec.to_dict()
+    True
+    >>> sorted(spec.solar_payload())   # the solar-stage cache key inputs
+    ['grid', 'solar', 'stage', 'time', 'weather']
+    >>> spec.with_solver("ilp", time_limit_s=5.0).solver.name
+    'ilp'
     """
 
     name: str
@@ -409,6 +495,35 @@ class ScenarioSpec:
     def with_solver(self, name: str, **options: Any) -> "ScenarioSpec":
         """A copy of the scenario with a different solver choice."""
         return replace(self, solver=SolverSpec(name=name, options=options))
+
+    def with_overrides(
+        self, overrides: Mapping[str, Any], name: Optional[str] = None
+    ) -> "ScenarioSpec":
+        """A copy of the scenario with dotted-path axis overrides applied.
+
+        The overrides are applied to the scenario's dictionary form (see
+        :func:`apply_scenario_overrides`), so the result is exactly what a
+        hand-edited JSON scenario would parse to -- including validation and
+        cache-key derivation.  ``name`` renames the resulting scenario
+        (sweep points need unique names).
+
+        Example
+        -------
+        >>> from repro.scenario import get_scenario
+        >>> base = get_scenario("residential-south")
+        >>> point = base.with_overrides(
+        ...     {"n_modules": 8, "weather.latitude_deg": 52.5, "solver": "traditional"},
+        ...     name="residential-south@n8-berlin",
+        ... )
+        >>> (point.n_modules, point.weather.latitude_deg, point.solver.name)
+        (8, 52.5, 'traditional')
+        >>> base.n_modules  # the base scenario is untouched
+        6
+        """
+        data = apply_scenario_overrides(self.to_dict(), overrides)
+        if name is not None:
+            data["name"] = name
+        return ScenarioSpec.from_dict(data)
 
     # -- content keys for the stage cache ----------------------------------------
 

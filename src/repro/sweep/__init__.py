@@ -1,0 +1,111 @@
+"""Declarative sweep engine: expand axis grids, run them cached, aggregate.
+
+The sweep subsystem turns "reproduce the paper's artifacts at scale" into a
+three-line workflow::
+
+    from repro.scenario import get_scenario
+    from repro.sweep import SweepAxis, SweepPlan, run_sweep
+
+    plan = SweepPlan(
+        name="modules-x-solver",
+        base=get_scenario("residential-south"),
+        axes=(
+            SweepAxis("n_modules", (4, 6, 8)),
+            SweepAxis("solver.name", ("greedy", "traditional")),
+        ),
+    )
+    sweep = run_sweep(plan, cache="~/.cache/repro")
+    print(sweep.pivot("n_modules", "name", "annual_energy_mwh"))
+
+Expansion (:mod:`repro.sweep.grid`) is pure specification surgery, execution
+streams the expanded specs through the cached parallel batch runner
+(:func:`repro.runner.run_batch`), and aggregation
+(:mod:`repro.sweep.aggregate`) joins each point's axis coordinates with its
+result plus per-stage cache-reuse accounting.  Because consecutive sweep
+points usually differ by one parameter, the stage cache collapses the
+expensive stages across the grid: an ``n_modules`` x ``solver`` sweep
+computes its solar field *once*, and a warm re-run recomputes nothing.
+
+:mod:`repro.sweep.report` renders sweep outcomes (and the paper-artifact
+presets ``table1`` and ``catalog``) as deterministic Markdown/CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..runner.batch import run_batch
+from ..runner.cache import PathLike, StageCache
+from .aggregate import (
+    DEFAULT_METRICS,
+    PivotTable,
+    SweepPointResult,
+    SweepResult,
+    aggregate_batch,
+)
+from .grid import SWEEP_FORMAT_VERSION, SweepAxis, SweepPlan, SweepPoint
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "PivotTable",
+    "SWEEP_FORMAT_VERSION",
+    "SweepAxis",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "aggregate_batch",
+    "run_sweep",
+]
+
+
+def run_sweep(
+    plan: SweepPlan,
+    cache: Union[StageCache, PathLike, None] = None,
+    jobs: Optional[int] = None,
+    results_path: Optional[PathLike] = None,
+    use_cache: bool = True,
+    parallel: bool = True,
+) -> SweepResult:
+    """Expand a sweep plan and execute every point through the batch runner.
+
+    Parameters
+    ----------
+    plan:
+        The declarative sweep (base scenario + axes).
+    cache:
+        Stage cache handle or directory shared by every point; points that
+        share expensive-stage content keys (same roof/weather/time base)
+        compute them once, within this run and across runs.
+    jobs:
+        Worker-process count forwarded to :func:`repro.runner.run_batch`.
+    results_path:
+        When given, the per-point scenario records are also written there
+        as a JSONL store (one line per point, in point order).
+    use_cache, parallel:
+        Forwarded to :func:`repro.runner.run_batch`.
+
+    Returns
+    -------
+    SweepResult
+        Per-point results joined with their axis coordinates, plus
+        cache-reuse accounting (:meth:`SweepResult.stage_recompute_counts`).
+    """
+    points = plan.points()
+    batch = run_batch(
+        [point.spec for point in points],
+        cache=cache,
+        jobs=jobs,
+        results_path=results_path,
+        use_cache=use_cache,
+        parallel=parallel,
+    )
+    return aggregate_batch(
+        plan_name=plan.name,
+        axis_keys=[axis.key for axis in plan.axes],
+        points=[
+            {"name": p.name, "overrides": p.overrides, "labels": p.labels}
+            for p in points
+        ],
+        batch=batch,
+    )

@@ -1,0 +1,278 @@
+"""Declarative sweep plans: a base scenario plus axes of overrides.
+
+A :class:`SweepPlan` is the sweep-engine counterpart of a
+:class:`~repro.scenario.ScenarioSpec`: a plain, JSON-round-trippable
+document describing *one* base scenario and a set of :class:`SweepAxis`
+entries -- dotted override paths ("n_modules", "weather.latitude_deg",
+"solver.name", "module.gamma_p_per_k", "roof", ...) with the values to
+visit.  ``mode="grid"`` expands the Cartesian product of the axes,
+``mode="zip"`` pairs them element-wise (all axes must then share one
+length).
+
+Expansion is pure specification surgery: each point applies its overrides
+through :meth:`ScenarioSpec.with_overrides`, so a sweep point is exactly
+the scenario a hand-written JSON file with the same values would parse to.
+In particular every point derives its stage-cache content keys the normal
+way, which is what makes sweeps cheap: consecutive points that share a
+roof/weather/time base (e.g. an ``n_modules`` or ``solver.name`` axis) hash
+to the same solar-field key and reuse one cached computation across the
+whole grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..scenario.spec import ScenarioSpec
+
+PathLike = Union[str, Path]
+
+#: Version stamp embedded in serialised sweep plans.
+SWEEP_FORMAT_VERSION = 1
+
+_LABEL_SAFE = re.compile(r"[^A-Za-z0-9_.+-]+")
+
+
+def _default_label(value: Any) -> str:
+    """Compact, filename-safe label of one axis value."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)  # already safe; keep the sign of negative values
+    if isinstance(value, Mapping) and "name" in value:
+        raw = str(value["name"])
+    elif isinstance(value, str) or value is None:
+        raw = str(value)
+    else:
+        blob = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        raw = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:10]
+    label = _LABEL_SAFE.sub("-", raw).strip("-")
+    if len(label) > 48:
+        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
+        label = f"{label[:39]}-{digest}"
+    return label or "value"
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension: a dotted override path and the values to visit.
+
+    ``labels`` (optional, same length as ``values``) names the values in
+    point names, tables and reports; labels default to a compact rendering
+    of each value (for roof dictionaries: the roof's ``name``).
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep axis needs a non-empty override path")
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ConfigurationError(f"sweep axis {self.name!r} has no values")
+        if self.labels is not None:
+            object.__setattr__(self, "labels", tuple(str(l) for l in self.labels))
+            if len(self.labels) != len(self.values):
+                raise ConfigurationError(
+                    f"sweep axis {self.name!r}: {len(self.labels)} labels for "
+                    f"{len(self.values)} values"
+                )
+
+    @property
+    def key(self) -> str:
+        """Short column name of the axis (last path segment)."""
+        return self.name.rsplit(".", 1)[-1]
+
+    def label_for(self, index: int) -> str:
+        """Display label of the value at ``index``."""
+        if self.labels is not None:
+            return self.labels[index]
+        return _default_label(self.values[index])
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "values": list(self.values)}
+        if self.labels is not None:
+            data["labels"] = list(self.labels)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxis":
+        try:
+            labels = data.get("labels")
+            return cls(
+                name=str(data["name"]),
+                values=tuple(data["values"]),
+                labels=None if labels is None else tuple(labels),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed sweep axis: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete point of an expanded sweep."""
+
+    name: str
+    overrides: Mapping[str, Any]
+    labels: Mapping[str, str]
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A base scenario plus override axes, expandable into concrete specs.
+
+    Example
+    -------
+    >>> from repro.scenario import get_scenario
+    >>> from repro.sweep import SweepAxis, SweepPlan
+    >>> plan = SweepPlan(
+    ...     name="lat-x-n",
+    ...     base=get_scenario("residential-south"),
+    ...     axes=(
+    ...         SweepAxis("weather.latitude_deg", (40.0, 55.0)),
+    ...         SweepAxis("n_modules", (4, 6)),
+    ...     ),
+    ... )
+    >>> plan.n_points
+    4
+    >>> [p.name for p in plan.points()][:2]
+    ['lat-x-n@latitude_deg=40.0+n_modules=4', 'lat-x-n@latitude_deg=40.0+n_modules=6']
+    >>> restored = SweepPlan.from_json(plan.to_json())
+    >>> restored.to_dict() == plan.to_dict()
+    True
+    """
+
+    name: str
+    base: ScenarioSpec
+    axes: Tuple[SweepAxis, ...]
+    mode: str = "grid"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep plan needs a non-empty name")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ConfigurationError("a sweep plan needs at least one axis")
+        if self.mode not in ("grid", "zip"):
+            raise ConfigurationError(f"unknown sweep mode {self.mode!r}")
+        keys = [axis.key for axis in self.axes]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"sweep axis keys must be unique, got {keys}")
+        if self.mode == "zip":
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) != 1:
+                raise ConfigurationError(
+                    "zip mode requires equal-length axes, got lengths "
+                    f"{sorted(len(a.values) for a in self.axes)}"
+                )
+
+    # -- expansion ---------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of concrete scenarios the plan expands to."""
+        if self.mode == "zip":
+            return len(self.axes[0].values)
+        product = 1
+        for axis in self.axes:
+            product *= len(axis.values)
+        return product
+
+    def _index_tuples(self) -> List[Tuple[int, ...]]:
+        if self.mode == "zip":
+            return [(i,) * len(self.axes) for i in range(len(self.axes[0].values))]
+        return list(itertools.product(*(range(len(a.values)) for a in self.axes)))
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the plan into named, override-annotated scenario specs.
+
+        Point order is deterministic: ``grid`` mode iterates the Cartesian
+        product with the *last* axis fastest (like nested loops in axis
+        order), ``zip`` mode follows the value order of the axes.
+        """
+        points: List[SweepPoint] = []
+        for indices in self._index_tuples():
+            overrides = {
+                axis.name: axis.values[i] for axis, i in zip(self.axes, indices)
+            }
+            labels = {
+                axis.key: axis.label_for(i) for axis, i in zip(self.axes, indices)
+            }
+            suffix = "+".join(f"{axis.key}={labels[axis.key]}" for axis in self.axes)
+            name = f"{self.name}@{suffix}"
+            spec = self.base.with_overrides(overrides, name=name)
+            points.append(
+                SweepPoint(name=name, overrides=overrides, labels=labels, spec=spec)
+            )
+        names = [point.name for point in points]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                "sweep point names collide; give the ambiguous axis values "
+                "explicit labels (SweepAxis(labels=...))"
+            )
+        return points
+
+    def specs(self) -> List[ScenarioSpec]:
+        """The concrete scenarios of the sweep, in point order."""
+        return [point.spec for point in self.points()]
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SWEEP_FORMAT_VERSION,
+            "name": self.name,
+            "mode": self.mode,
+            "description": self.description,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPlan":
+        version = data.get("format_version", SWEEP_FORMAT_VERSION)
+        if version != SWEEP_FORMAT_VERSION:
+            raise ConfigurationError(f"unsupported sweep format version {version}")
+        try:
+            return cls(
+                name=str(data["name"]),
+                base=ScenarioSpec.from_dict(data["base"]),
+                axes=tuple(SweepAxis.from_dict(axis) for axis in data["axes"]),
+                mode=str(data.get("mode", "grid")),
+                description=str(data.get("description", "")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed sweep plan: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise the plan to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepPlan":
+        """Parse a plan from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid sweep plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: PathLike) -> None:
+        """Write the plan to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SweepPlan":
+        """Read a plan from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
