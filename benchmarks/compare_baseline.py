@@ -1,0 +1,222 @@
+"""Gate benchmark timings against the tracked baseline.
+
+CI's scheduled/dispatched bench job runs the suite with
+``--benchmark-json bench-timings.json`` and then calls this script, which
+
+1. compares each benchmark's median against
+   ``benchmarks/baselines/bench-baseline.json`` and **fails** (exit 1) when
+   any benchmark regressed by more than ``--tolerance`` (default 25 %),
+2. prints a Markdown delta table (and appends it to ``--summary``, which CI
+   points at ``$GITHUB_STEP_SUMMARY`` so the table lands in the job page),
+3. writes a trajectory point (``--trajectory BENCH_<run>.json``) holding the
+   run's medians plus commit metadata, archived as an artifact so the
+   benchmark history accumulates run over run.
+
+Benchmarks absent from the baseline are reported as *new* (never failing);
+baseline entries missing from the run are reported as *removed*.  Medians
+below ``--min-seconds`` are exempt from the gate -- sub-millisecond timings
+on shared CI runners are dominated by noise, not by code.
+
+Refresh the committed baseline after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json bench-timings.json
+    python benchmarks/compare_baseline.py bench-timings.json --update
+
+Only the Python standard library is used, so the gate runs before the
+project's own dependencies are even imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "bench-baseline.json"
+
+#: Baseline file format marker.
+BASELINE_FORMAT_VERSION = 1
+
+
+def load_run_medians(timings_path: Path) -> Dict[str, float]:
+    """Extract ``{fullname: median_seconds}`` from a pytest-benchmark JSON."""
+    data = json.loads(timings_path.read_text(encoding="utf-8"))
+    medians: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["fullname"]] = float(bench["stats"]["median"])
+    if not medians:
+        raise SystemExit(f"error: {timings_path} contains no benchmark records")
+    return medians
+
+
+def load_baseline(baseline_path: Path) -> Dict[str, float]:
+    """Read the committed baseline medians."""
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    return {name: float(median) for name, median in data["medians"].items()}
+
+
+def write_baseline(baseline_path: Path, medians: Dict[str, float]) -> None:
+    """(Re)write the committed baseline file deterministically."""
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": BASELINE_FORMAT_VERSION,
+        "note": (
+            "Median benchmark timings in seconds; refresh with "
+            "`python benchmarks/compare_baseline.py <timings.json> --update` "
+            "after intentional performance changes."
+        ),
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    baseline_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def render_table(rows: List[dict]) -> str:
+    """Markdown delta table, worst regressions first."""
+    lines = [
+        "| benchmark | baseline (s) | current (s) | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        baseline = "-" if row["baseline"] is None else f"{row['baseline']:.6f}"
+        current = "-" if row["current"] is None else f"{row['current']:.6f}"
+        delta = "-" if row["delta"] is None else f"{row['delta']:+.1%}"
+        lines.append(
+            f"| {row['name']} | {baseline} | {current} | {delta} | {row['status']} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+    min_seconds: float,
+) -> List[dict]:
+    """Join current and baseline medians into annotated comparison rows."""
+    rows: List[dict] = []
+    for name in sorted(set(current) | set(baseline)):
+        cur = current.get(name)
+        base = baseline.get(name)
+        if base is None:
+            rows.append(
+                {"name": name, "baseline": None, "current": cur, "delta": None,
+                 "status": "new"}
+            )
+            continue
+        if cur is None:
+            rows.append(
+                {"name": name, "baseline": base, "current": None, "delta": None,
+                 "status": "removed"}
+            )
+            continue
+        delta = (cur - base) / base if base > 0 else 0.0
+        if delta > tolerance and cur >= min_seconds:
+            status = "REGRESSION"
+        elif delta > tolerance:
+            status = "noisy (below min-seconds floor)"
+        elif delta < -tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            {"name": name, "baseline": base, "current": cur, "delta": delta,
+             "status": status}
+        )
+    rows.sort(key=lambda row: -(row["delta"] or 0.0))
+    return rows
+
+
+def write_trajectory(path: Path, medians: Dict[str, float]) -> None:
+    """Write one benchmark-history point (commit metadata from CI env vars)."""
+    payload = {
+        "format_version": BASELINE_FORMAT_VERSION,
+        "commit": os.environ.get("GITHUB_SHA"),
+        "run_id": os.environ.get("GITHUB_RUN_ID"),
+        "ref": os.environ.get("GITHUB_REF"),
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("timings", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="tracked baseline file"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fractional regression threshold (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="medians below this are exempt from the gate (CI noise floor)",
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="append the delta table to this file (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        help="write this run's BENCH_*.json history point here",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the run instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_run_medians(args.timings)
+
+    if args.trajectory is not None:
+        write_trajectory(args.trajectory, current)
+        print(f"trajectory point written to {args.trajectory}")
+
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated with {len(current)} medians at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"error: baseline {args.baseline} does not exist; create it with --update"
+        )
+    baseline = load_baseline(args.baseline)
+    rows = compare(current, baseline, args.tolerance, args.min_seconds)
+    table = render_table(rows)
+    regressions = [row for row in rows if row["status"] == "REGRESSION"]
+
+    heading = (
+        f"## Benchmark comparison ({len(current)} benchmarks, "
+        f"tolerance {args.tolerance:.0%})\n\n"
+    )
+    verdict = (
+        f"**{len(regressions)} regression(s) beyond tolerance.**\n"
+        if regressions
+        else "No regressions beyond tolerance.\n"
+    )
+    report = heading + table + "\n" + verdict
+    print(report)
+    if args.summary is not None:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(report)
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,10 @@ def test_bench_suitability_ablation(benchmark, case_studies, table1_config):
         "p75 + T corr (paper)": (SuitabilityConfig(), GreedyConfig()),
         "p75, no T corr": (SuitabilityConfig(use_temperature_correction=False), GreedyConfig()),
         "mean statistic": (SuitabilityConfig(statistic="mean"), GreedyConfig()),
-        "no distance threshold": (SuitabilityConfig(), GreedyConfig(respect_distance_threshold=False)),
+        "no distance threshold": (
+            SuitabilityConfig(),
+            GreedyConfig(respect_distance_threshold=False),
+        ),
     }
 
     def run_all():

@@ -32,7 +32,6 @@ from repro.core import (
     default_topology,
     evaluate_placement_reference,
     exhaustive_floorplan,
-    greedy_floorplan,
 )
 from repro.core.exhaustive import _any_overlap
 from repro.core.constraints import feasible_anchor_mask

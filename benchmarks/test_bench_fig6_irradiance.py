@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import spatial_variation_coefficient
 from repro.experiments import PAPER_TABLE1, figure6_irradiance_map
 
 

@@ -40,6 +40,7 @@ def test_bench_overhead_characterisation(benchmark):
     # Relative to the smallest yearly production of Table I (2.957 MWh) the
     # per-metre overhead is well below 0.1 %, matching the paper's claim.
     smallest_production_wh = min(row["traditional_mwh"] for row in PAPER_TABLE1) * 1e6
-    per_metre_fraction = (overhead.annual_loss_wh[-1] / overhead.lengths_m[-1]) / smallest_production_wh
+    per_metre_loss_wh = overhead.annual_loss_wh[-1] / overhead.lengths_m[-1]
+    per_metre_fraction = per_metre_loss_wh / smallest_production_wh
     print(f"    per-metre energy overhead = {per_metre_fraction * 100:.4f} % of yearly production")
     assert per_metre_fraction < 0.001

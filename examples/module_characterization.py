@@ -62,7 +62,8 @@ def main() -> None:
         )
         _, _, p_cell = cell.maximum_power_point(irradiance, 25.0)
         physical = p_cell * 50  # 50 series cells share the same current
-        print(f"    {irradiance:9.0f}   {empirical:18.1f}   {physical:21.1f}   {empirical / physical:5.2f}")
+        ratio = empirical / physical
+        print(f"    {irradiance:9.0f}   {empirical:18.1f}   {physical:21.1f}   {ratio:5.2f}")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="hourly samples of every day")
     parser.add_argument("--modules", type=int, default=32, help="number of modules to place")
-    parser.add_argument("--save", type=str, default="", help="write the proposed placement JSON here")
+    parser.add_argument(
+        "--save", type=str, default="", help="write the proposed placement JSON here"
+    )
     args = parser.parse_args()
 
     config = CaseStudyConfig(
@@ -39,10 +41,14 @@ def main() -> None:
         f"{study.grid.pitch * 100:.0f} cm, Ng = {study.grid.n_valid} valid"
     )
     p75 = study.solar.percentile_map(75)
-    print(f"  spatial variation of the p75 irradiance map: CV = {spatial_variation_coefficient(p75):.3f}")
+    p75_variation = spatial_variation_coefficient(p75)
+    print(f"  spatial variation of the p75 irradiance map: CV = {p75_variation:.3f}")
 
     problem = build_problem(study, args.modules, 8)
-    print(f"\nPlacing N = {args.modules} modules ({problem.topology.n_series} in series per string)...")
+    print(
+        f"\nPlacing N = {args.modules} modules "
+        f"({problem.topology.n_series} in series per string)..."
+    )
     traditional = traditional_floorplan(problem)
     greedy = greedy_floorplan(problem, suitability=traditional.suitability)
     comparison = compare_placements(problem, traditional.placement, greedy.placement)
@@ -50,7 +56,10 @@ def main() -> None:
     baseline = comparison.baseline
     candidate = comparison.candidate
     print(f"  traditional ({traditional.strategy}): {baseline.annual_energy_mwh:7.3f} MWh/year")
-    print(f"  proposed (greedy, {greedy.runtime_s * 1e3:.0f} ms):  {candidate.annual_energy_mwh:7.3f} MWh/year")
+    print(
+        f"  proposed (greedy, {greedy.runtime_s * 1e3:.0f} ms):  "
+        f"{candidate.annual_energy_mwh:7.3f} MWh/year"
+    )
     print(f"  improvement: {comparison.improvement_percent:+.2f} %  (paper row: +23.6 %)")
     print(
         f"  wiring: {candidate.wiring_extra_length_m:.1f} m extra cable, "

@@ -16,7 +16,13 @@ Subcommands
 ``sweep``
     Expand a declarative sweep -- a plan file, or a base scenario plus
     ``--axis path=v1,v2,...`` flags -- through the cached batch runner and
-    print/store the aggregated table.
+    print/store the aggregated table.  Runs as a durable campaign by
+    default (``--store none`` opts out).
+``campaign``
+    Fault-tolerant, resumable fleet execution backed by the SQLite result
+    store: ``run`` enrolls + executes, ``status`` inspects, ``resume``
+    re-attempts the missing points from the store alone, ``export`` emits
+    the standard JSONL results format.
 ``report``
     Generate a paper-artifact report preset (``table1``, ``catalog``) as
     deterministic Markdown or CSV.
@@ -24,7 +30,9 @@ Subcommands
 All pipeline-running subcommands share the stage-cache flags:
 ``--cache-dir`` points the content-addressed store somewhere explicit
 (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), ``--no-cache``
-bypasses it.  See ``docs/cli.md`` for a full walkthrough.
+bypasses it.  Campaign state lives in ``--store`` (default:
+``$REPRO_STORE_PATH`` or ``<cache dir>/campaigns.sqlite``).  See
+``docs/cli.md`` and ``docs/campaigns.md`` for a full walkthrough.
 """
 
 from __future__ import annotations
@@ -40,8 +48,9 @@ from .runner.batch import run_batch
 from .runner.cache import StageCache, default_cache_dir
 from .runner.solvers import available_solvers
 from .runner.stages import run_scenario
-from .scenario.catalog import builtin_scenarios, get_scenario
-from .scenario.spec import ScenarioSpec, SolverSpec
+from .runner.store import ResultStore, default_store_path
+from .scenario.catalog import builtin_scenarios
+from .scenario.spec import ScenarioSpec
 from .sweep import SweepAxis, SweepPlan, run_sweep
 from .sweep.report import available_presets, generate_report, sweep_report
 
@@ -62,6 +71,37 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the stage cache (recompute everything)",
     )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "campaign result-store database, or 'none' for the in-memory path "
+            "(default: $REPRO_STORE_PATH or <cache dir>/campaigns.sqlite)"
+        ),
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> "str | Path | None":
+    """Resolve the ``--store`` flag to a path (default store) or ``None``."""
+    if args.store is None:
+        return default_store_path()
+    if args.store.lower() == "none":
+        return None
+    return Path(args.store)
+
+
+def _print_campaign_summary(summary) -> None:
+    print(summary.report())
+    recomputes = summary.stage_recomputes
+    note = (
+        ", ".join(f"{stage}={count}" for stage, count in sorted(recomputes.items()))
+        if recomputes
+        else "none"
+    )
+    print(f"stage recomputations (this run): {note}")
 
 
 def _load_scenario(name_or_path: str) -> ScenarioSpec:
@@ -132,6 +172,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         specs = list(builtin_scenarios().values())
     cache = _cache_from_args(args)
+    store = None if args.store is None else _store_from_args(args)
+    if store is None and (args.campaign is not None or args.retries):
+        raise ReproError(
+            "--campaign/--retries only apply to store-backed batches; add "
+            "--store PATH (or use `repro campaign run`)"
+        )
     batch = run_batch(
         specs,
         cache=cache,
@@ -139,9 +185,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         results_path=args.results,
         use_cache=not args.no_cache,
         parallel=not args.serial,
+        store=store,
+        campaign=args.campaign,
+        retries=args.retries,
     )
     for result in batch.results:
         print(result.report())
+    if batch.campaign is not None:
+        _print_campaign_summary(batch.campaign)
     summary = batch.summary()
     hits = summary["cache_hits_by_stage"]
     hit_note = (
@@ -155,6 +206,140 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     if batch.results_path is not None:
         print(f"results store: {batch.results_path}")
+    return 1 if batch.campaign is not None and batch.campaign.failed else 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        specs = [_load_scenario(name) for name in args.scenarios]
+    else:
+        specs = list(builtin_scenarios().values())
+    store = _store_from_args(args)
+    if store is None:
+        raise ReproError("campaign run needs a result store (--store cannot be 'none')")
+    cache = _cache_from_args(args)
+    batch = run_batch(
+        specs,
+        cache=cache,
+        jobs=args.jobs,
+        results_path=args.results,
+        use_cache=not args.no_cache,
+        parallel=not args.serial,
+        store=store,
+        campaign=args.name,
+        retries=args.retries,
+    )
+    for result in batch.results:
+        print(result.report())
+    _print_campaign_summary(batch.campaign)
+    print(f"store: {store}")
+    if batch.results_path is not None:
+        print(f"results store: {batch.results_path}")
+    return 1 if batch.campaign.failed else 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    store_path = _store_from_args(args)
+    if store_path is None:
+        raise ReproError("campaign resume needs a result store (--store cannot be 'none')")
+    cache = _cache_from_args(args)
+    with ResultStore(store_path) as store:
+        records = store.points(args.name)
+        if not records:
+            known = ", ".join(name for name, _ in store.campaigns()) or "none"
+            raise ReproError(f"store has no campaign {args.name!r}; campaigns: {known}")
+        specs = [record.spec() for record in records]
+        batch = run_batch(
+            specs,
+            cache=cache,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            parallel=not args.serial,
+            store=store,
+            campaign=args.name,
+            retries=args.retries,
+        )
+    _print_campaign_summary(batch.campaign)
+    return 1 if batch.campaign.failed else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    store_path = _store_from_args(args)
+    if store_path is None:
+        raise ReproError("campaign status needs a result store (--store cannot be 'none')")
+    with ResultStore(store_path) as store:
+        if not args.name:
+            campaigns = store.campaigns()
+            if args.json:
+                print(json.dumps(dict(campaigns), indent=2, sort_keys=True))
+                return 0
+            if not campaigns:
+                print(f"store {store.path} has no campaigns")
+                return 0
+            print(f"{len(campaigns)} campaign(s) in {store.path}")
+            for name, counts in campaigns:
+                total = sum(counts.values())
+                print(
+                    f"  {name}: {counts['done']}/{total} done, "
+                    f"{counts['failed']} failed, {counts['pending']} pending"
+                )
+            return 0
+        records = store.points(args.name)
+        if not records:
+            known = ", ".join(name for name, _ in store.campaigns()) or "none"
+            raise ReproError(f"store has no campaign {args.name!r}; campaigns: {known}")
+        if args.json:
+            payload = [
+                {
+                    "name": record.name,
+                    "digest": record.digest,
+                    "status": record.status,
+                    "attempts": record.attempts,
+                    "wall_time_s": record.wall_time_s,
+                    "error": record.error,
+                }
+                for record in records
+            ]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        counts = {status: 0 for status in ("pending", "running", "done", "failed")}
+        for record in records:
+            counts[record.status] += 1
+        print(
+            f"campaign {args.name!r}: {counts['done']}/{len(records)} done, "
+            f"{counts['failed']} failed, {counts['pending']} pending, "
+            f"{counts['running']} running"
+        )
+        width = max(len(record.name) for record in records)
+        for record in records:
+            wall = "" if record.wall_time_s is None else f" {record.wall_time_s:.2f}s"
+            print(
+                f"  {record.name:<{width}}  {record.status:<8} "
+                f"attempts={record.attempts}{wall}"
+            )
+            if record.status == "failed" and record.error:
+                print(f"    {record.error.splitlines()[0]}")
+    return 0
+
+
+def _cmd_campaign_export(args: argparse.Namespace) -> int:
+    store_path = _store_from_args(args)
+    if store_path is None:
+        raise ReproError("campaign export needs a result store (--store cannot be 'none')")
+    with ResultStore(store_path) as store:
+        counts = store.status_counts(args.name)
+        if not sum(counts.values()):
+            known = ", ".join(name for name, _ in store.campaigns()) or "none"
+            raise ReproError(f"store has no campaign {args.name!r}; campaigns: {known}")
+        written = store.export(args.name, args.results)
+    remaining = sum(counts.values()) - counts["done"]
+    print(f"{written} result(s) exported to {args.results}")
+    if remaining:
+        print(
+            f"warning: {remaining} point(s) not done yet (resume the campaign "
+            "to complete them)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -246,6 +431,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         results_path=args.results,
         use_cache=not args.no_cache,
         parallel=not args.serial,
+        store=_store_from_args(args),
+        retries=args.retries,
     )
     artifact = sweep_report(sweep)
     print(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
@@ -261,6 +448,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"worker(s) in {sweep.runtime_s:.2f}s; stage recomputations: {note}",
         file=sys.stderr,
     )
+    if sweep.campaign is not None:
+        print(
+            f"campaign {sweep.campaign.campaign!r}: computed "
+            f"{sweep.campaign.computed}, skipped {sweep.campaign.skipped}, "
+            f"retried {sweep.campaign.retried}",
+            file=sys.stderr,
+        )
     if args.output:
         sweep.save(args.output)
         print(f"sweep result written to {args.output}", file=sys.stderr)
@@ -359,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--results", default="repro-results.jsonl", help="JSONL results store path"
     )
+    batch_parser.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign name when running against a result store (default: 'batch')",
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=0, help="per-point retry budget (store-backed only)"
+    )
+    _add_store_argument(batch_parser)
     _add_cache_arguments(batch_parser)
     batch_parser.set_defaults(func=_cmd_batch)
 
@@ -415,8 +618,84 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("markdown", "csv"),
         help="stdout table format",
     )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=0, help="per-point retry budget (store-backed only)"
+    )
+    _add_store_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="durable, resumable fleet execution backed by the SQLite result store",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="enroll scenarios in a campaign and execute the missing points"
+    )
+    campaign_run.add_argument("name", help="campaign name (keys the store rows)")
+    campaign_run.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names / JSON files (default: the whole built-in catalog)",
+    )
+    campaign_run.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count)"
+    )
+    campaign_run.add_argument(
+        "--serial", action="store_true", help="run in-process without worker processes"
+    )
+    campaign_run.add_argument(
+        "--retries", type=int, default=0, help="per-point retry budget within this run"
+    )
+    campaign_run.add_argument(
+        "--results", default=None, help="also write completed results as JSONL here"
+    )
+    _add_store_argument(campaign_run)
+    _add_cache_arguments(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="inspect campaign state (per-point when a name is given)"
+    )
+    campaign_status.add_argument(
+        "name", nargs="?", default=None, help="campaign name (omit to list campaigns)"
+    )
+    campaign_status.add_argument("--json", action="store_true", help="emit JSON")
+    _add_store_argument(campaign_status)
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume",
+        help="re-run a campaign's missing points from the store alone "
+        "(no plan or scenario arguments needed)",
+    )
+    campaign_resume.add_argument("name", help="campaign name")
+    campaign_resume.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count)"
+    )
+    campaign_resume.add_argument(
+        "--serial", action="store_true", help="run in-process without worker processes"
+    )
+    campaign_resume.add_argument(
+        "--retries", type=int, default=0, help="per-point retry budget within this run"
+    )
+    _add_store_argument(campaign_resume)
+    _add_cache_arguments(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_export = campaign_sub.add_parser(
+        "export",
+        help="write the campaign's completed results as a JSONL store "
+        "(byte-compatible with `repro batch --results`)",
+    )
+    campaign_export.add_argument("name", help="campaign name")
+    campaign_export.add_argument(
+        "--results", required=True, help="JSONL output path"
+    )
+    _add_store_argument(campaign_export)
+    campaign_export.set_defaults(func=_cmd_campaign_export)
 
     report_parser = subparsers.add_parser(
         "report", help="generate a paper-artifact report preset"

@@ -48,5 +48,24 @@ class ConfigurationError(ReproError):
     """Invalid configuration value passed to an experiment or generator."""
 
 
+class ScenarioExecutionError(ReproError):
+    """A scenario failed inside the batch runner.
+
+    Carries the failing point's identity so a worker traceback can always be
+    attributed: :attr:`scenario` is the scenario name, :attr:`digest` the
+    campaign-point content digest (when known).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        scenario: "str | None" = None,
+        digest: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.scenario = scenario
+        self.digest = digest
+
+
 class IOFormatError(ReproError):
     """Malformed file passed to one of the :mod:`repro.io` readers."""

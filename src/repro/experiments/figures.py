@@ -132,8 +132,12 @@ def overhead_characterisation(
     """Power/energy/cost overhead vs extra cable length (paper Section V-C)."""
     wiring = spec if spec is not None else WiringSpec()
     lengths = lengths_m if lengths_m is not None else np.linspace(0.0, 40.0, 21)
-    power = np.array([resistive_power_loss(float(l), current_a, wiring) for l in lengths])
-    energy = np.array([annual_energy_loss_wh(float(l), current_a, spec=wiring) for l in lengths])
+    power = np.array(
+        [resistive_power_loss(float(length), current_a, wiring) for length in lengths]
+    )
+    energy = np.array(
+        [annual_energy_loss_wh(float(length), current_a, spec=wiring) for length in lengths]
+    )
     cost = lengths * wiring.cost_per_m
     return OverheadCharacterisation(
         lengths_m=np.asarray(lengths, dtype=float),

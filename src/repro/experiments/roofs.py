@@ -92,7 +92,9 @@ def _vent_count(width_m: float, depth_m: float) -> int:
     """Number of scattered vents for a roof of the given size."""
     return max(4, int(round(width_m * depth_m / _VENT_DENSITY_M2)))
 
-def _eave_parapet(width_m: float, height_m: float = 0.6, thickness_m: float = 0.4) -> AdjacentStructure:
+def _eave_parapet(
+    width_m: float, height_m: float = 0.6, thickness_m: float = 0.4
+) -> AdjacentStructure:
     """Perimeter parapet running along the eave (south edge) of the facet.
 
     Industrial roofs carry a safety parapet along the perimeter; at low and
@@ -159,23 +161,55 @@ def roof1_spec(scale: float = 1.0) -> RoofSpec:
         eave_height_m=7.0,
         edge_setback_m=0.4 * scale,
         obstacles=(
-            pipe_rack(0.12 * width, 0.55 * depth, length_m=0.42 * width, width_m=2.0 * scale, height_m=1.3),
-            pipe_rack(0.58 * width, 0.20 * depth, length_m=0.34 * width, width_m=1.8 * scale, height_m=1.2),
+            pipe_rack(
+                0.12 * width,
+                0.55 * depth,
+                length_m=0.42 * width,
+                width_m=2.0 * scale,
+                height_m=1.3,
+            ),
+            pipe_rack(
+                0.58 * width,
+                0.20 * depth,
+                length_m=0.34 * width,
+                width_m=1.8 * scale,
+                height_m=1.2,
+            ),
             chimney(0.30 * width, 0.85 * depth, side_m=max(0.8 * scale, 0.4), height_m=1.8),
             chimney(0.72 * width, 0.80 * depth, side_m=max(0.8 * scale, 0.4), height_m=1.6),
             hvac_unit(0.88 * width, 0.45 * depth, side_m=max(2.2 * scale, 0.8), height_m=1.5),
             _penthouse(0.42 * width, 0.40 * depth, side_m=max(3.4 * scale, 1.0), height_m=2.8),
         )
-        + scattered_vents(width, depth, n_vents=_vent_count(width, depth), seed=11,
-                          margin_m=1.0 * scale, height_range_m=(0.6, 1.3)),
+        + scattered_vents(
+            width,
+            depth,
+            n_vents=_vent_count(width, depth),
+            seed=11,
+            margin_m=1.0 * scale,
+            height_range_m=(0.6, 1.3),
+        ),
         adjacent_structures=(
             _tall_section(width, depth, "east", extent_m=8.0 * scale, height_m=4.5),
             _tall_section(width, depth, "ridge", extent_m=5.0 * scale, height_m=2.0),
             _eave_parapet(width, height_m=0.6),
-            _neighbour_building(width, depth, u_center=0.30 * width, distance_south_m=7.0 * scale,
-                                footprint_w_m=0.35 * width, footprint_d_m=12.0 * scale, height_m=5.5),
-            _neighbour_building(width, depth, u_center=0.80 * width, distance_south_m=10.0 * scale,
-                                footprint_w_m=0.25 * width, footprint_d_m=10.0 * scale, height_m=4.0),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.30 * width,
+                distance_south_m=7.0 * scale,
+                footprint_w_m=0.35 * width,
+                footprint_d_m=12.0 * scale,
+                height_m=5.5,
+            ),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.80 * width,
+                distance_south_m=10.0 * scale,
+                footprint_w_m=0.25 * width,
+                footprint_d_m=10.0 * scale,
+                height_m=4.0,
+            ),
         ),
         surface_roughness_m=0.15,
         roughness_correlation_m=max(1.2 * scale, 0.6),
@@ -199,19 +233,45 @@ def roof2_spec(scale: float = 1.0) -> RoofSpec:
             chimney(0.18 * width, 0.75 * depth, side_m=max(0.9 * scale, 0.4), height_m=1.8),
             chimney(0.47 * width, 0.82 * depth, side_m=max(0.8 * scale, 0.4), height_m=1.5),
             hvac_unit(0.67 * width, 0.30 * depth, side_m=max(2.4 * scale, 0.8), height_m=1.6),
-            skylight_row(0.78 * width, 0.60 * depth, length_m=0.12 * width, width_m=1.2 * scale, height_m=0.5),
+            skylight_row(
+                0.78 * width,
+                0.60 * depth,
+                length_m=0.12 * width,
+                width_m=1.2 * scale,
+                height_m=0.5,
+            ),
             _penthouse(0.32 * width, 0.45 * depth, side_m=max(3.6 * scale, 1.0), height_m=2.9),
             _penthouse(0.58 * width, 0.62 * depth, side_m=max(3.0 * scale, 1.0), height_m=2.6),
         )
-        + scattered_vents(width, depth, n_vents=_vent_count(width, depth), seed=22,
-                          margin_m=1.0 * scale, height_range_m=(0.6, 1.3)),
+        + scattered_vents(
+            width,
+            depth,
+            n_vents=_vent_count(width, depth),
+            seed=22,
+            margin_m=1.0 * scale,
+            height_range_m=(0.6, 1.3),
+        ),
         adjacent_structures=(
             _tall_section(width, depth, "east", extent_m=7.0 * scale, height_m=5.0),
             _eave_parapet(width, height_m=0.65),
-            _neighbour_building(width, depth, u_center=0.55 * width, distance_south_m=8.0 * scale,
-                                footprint_w_m=0.40 * width, footprint_d_m=12.0 * scale, height_m=6.0),
-            _neighbour_building(width, depth, u_center=0.12 * width, distance_south_m=6.0 * scale,
-                                footprint_w_m=0.20 * width, footprint_d_m=10.0 * scale, height_m=4.5),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.55 * width,
+                distance_south_m=8.0 * scale,
+                footprint_w_m=0.40 * width,
+                footprint_d_m=12.0 * scale,
+                height_m=6.0,
+            ),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.12 * width,
+                distance_south_m=6.0 * scale,
+                footprint_w_m=0.20 * width,
+                footprint_d_m=10.0 * scale,
+                height_m=4.5,
+            ),
         ),
         surface_roughness_m=0.14,
         roughness_correlation_m=max(1.2 * scale, 0.6),
@@ -234,21 +294,47 @@ def roof3_spec(scale: float = 1.0) -> RoofSpec:
         obstacles=(
             chimney(0.25 * width, 0.80 * depth, side_m=max(0.9 * scale, 0.4), height_m=1.7),
             chimney(0.55 * width, 0.78 * depth, side_m=max(0.8 * scale, 0.4), height_m=1.6),
-            skylight_row(0.38 * width, 0.35 * depth, length_m=0.15 * width, width_m=1.3 * scale, height_m=0.5),
+            skylight_row(
+                0.38 * width,
+                0.35 * depth,
+                length_m=0.15 * width,
+                width_m=1.3 * scale,
+                height_m=0.5,
+            ),
             hvac_unit(0.84 * width, 0.55 * depth, side_m=max(2.6 * scale, 0.8), height_m=1.7),
             _penthouse(0.16 * width, 0.50 * depth, side_m=max(3.4 * scale, 1.0), height_m=2.8),
             _penthouse(0.66 * width, 0.40 * depth, side_m=max(3.2 * scale, 1.0), height_m=2.7),
         )
-        + scattered_vents(width, depth, n_vents=_vent_count(width, depth), seed=33,
-                          margin_m=1.0 * scale, height_range_m=(0.6, 1.3)),
+        + scattered_vents(
+            width,
+            depth,
+            n_vents=_vent_count(width, depth),
+            seed=33,
+            margin_m=1.0 * scale,
+            height_range_m=(0.6, 1.3),
+        ),
         adjacent_structures=(
             _tall_section(width, depth, "east", extent_m=6.0 * scale, height_m=4.0),
             _tall_section(width, depth, "west", extent_m=3.0 * scale, height_m=2.5),
             _eave_parapet(width, height_m=0.6),
-            _neighbour_building(width, depth, u_center=0.40 * width, distance_south_m=7.0 * scale,
-                                footprint_w_m=0.30 * width, footprint_d_m=12.0 * scale, height_m=5.0),
-            _neighbour_building(width, depth, u_center=0.85 * width, distance_south_m=9.0 * scale,
-                                footprint_w_m=0.25 * width, footprint_d_m=10.0 * scale, height_m=5.5),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.40 * width,
+                distance_south_m=7.0 * scale,
+                footprint_w_m=0.30 * width,
+                footprint_d_m=12.0 * scale,
+                height_m=5.0,
+            ),
+            _neighbour_building(
+                width,
+                depth,
+                u_center=0.85 * width,
+                distance_south_m=9.0 * scale,
+                footprint_w_m=0.25 * width,
+                footprint_d_m=10.0 * scale,
+                height_m=5.5,
+            ),
         ),
         surface_roughness_m=0.16,
         roughness_correlation_m=max(1.2 * scale, 0.6),

@@ -340,10 +340,58 @@ def run_table1_sweep(
 #: The values printed in the paper's Table I, used by EXPERIMENTS.md and by
 #: the benchmarks to report paper-vs-measured side by side.
 PAPER_TABLE1 = (
-    {"roof": "roof1", "WxL": "287x51", "Ng": 9416, "N": 16, "traditional_mwh": 3.430, "proposed_mwh": 4.094, "improvement_percent": 19.37},
-    {"roof": "roof1", "WxL": "287x51", "Ng": 9416, "N": 32, "traditional_mwh": 6.729, "proposed_mwh": 7.499, "improvement_percent": 11.44},
-    {"roof": "roof2", "WxL": "298x51", "Ng": 11892, "N": 16, "traditional_mwh": 2.971, "proposed_mwh": 3.619, "improvement_percent": 21.85},
-    {"roof": "roof2", "WxL": "298x51", "Ng": 11892, "N": 32, "traditional_mwh": 5.941, "proposed_mwh": 7.404, "improvement_percent": 23.63},
-    {"roof": "roof3", "WxL": "298x52", "Ng": 11672, "N": 16, "traditional_mwh": 2.957, "proposed_mwh": 3.642, "improvement_percent": 23.16},
-    {"roof": "roof3", "WxL": "298x52", "Ng": 11672, "N": 32, "traditional_mwh": 5.746, "proposed_mwh": 7.405, "improvement_percent": 28.86},
+    {
+        "roof": "roof1",
+        "WxL": "287x51",
+        "Ng": 9416,
+        "N": 16,
+        "traditional_mwh": 3.430,
+        "proposed_mwh": 4.094,
+        "improvement_percent": 19.37,
+    },
+    {
+        "roof": "roof1",
+        "WxL": "287x51",
+        "Ng": 9416,
+        "N": 32,
+        "traditional_mwh": 6.729,
+        "proposed_mwh": 7.499,
+        "improvement_percent": 11.44,
+    },
+    {
+        "roof": "roof2",
+        "WxL": "298x51",
+        "Ng": 11892,
+        "N": 16,
+        "traditional_mwh": 2.971,
+        "proposed_mwh": 3.619,
+        "improvement_percent": 21.85,
+    },
+    {
+        "roof": "roof2",
+        "WxL": "298x51",
+        "Ng": 11892,
+        "N": 32,
+        "traditional_mwh": 5.941,
+        "proposed_mwh": 7.404,
+        "improvement_percent": 23.63,
+    },
+    {
+        "roof": "roof3",
+        "WxL": "298x52",
+        "Ng": 11672,
+        "N": 16,
+        "traditional_mwh": 2.957,
+        "proposed_mwh": 3.642,
+        "improvement_percent": 23.16,
+    },
+    {
+        "roof": "roof3",
+        "WxL": "298x52",
+        "Ng": 11672,
+        "N": 32,
+        "traditional_mwh": 5.746,
+        "proposed_mwh": 7.405,
+        "improvement_percent": 28.86,
+    },
 )

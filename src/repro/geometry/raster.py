@@ -205,9 +205,11 @@ class Raster:
         for row in range(n_rows):
             for col in range(n_cols):
                 centre = new_spec.cell_center(row, col)
+                x_max = self._spec.origin_x + self._spec.width - 1e-9
+                y_max = self._spec.origin_y + self._spec.height - 1e-9
                 clamped = Point2D(
-                    min(max(centre.x, self._spec.origin_x), self._spec.origin_x + self._spec.width - 1e-9),
-                    min(max(centre.y, self._spec.origin_y), self._spec.origin_y + self._spec.height - 1e-9),
+                    min(max(centre.x, self._spec.origin_x), x_max),
+                    min(max(centre.y, self._spec.origin_y), y_max),
                 )
                 out.data[row, col] = self.sample_bilinear(clamped)
         return out
@@ -224,7 +226,12 @@ class Raster:
 
     def window(self, row0: int, col0: int, n_rows: int, n_cols: int) -> "Raster":
         """Extract a rectangular sub-raster (copies data)."""
-        if row0 < 0 or col0 < 0 or row0 + n_rows > self._spec.n_rows or col0 + n_cols > self._spec.n_cols:
+        if (
+            row0 < 0
+            or col0 < 0
+            or row0 + n_rows > self._spec.n_rows
+            or col0 + n_cols > self._spec.n_cols
+        ):
             raise GeometryError("window exceeds raster bounds")
         sub_spec = RasterSpec(
             self._spec.origin_x + col0 * self._spec.pitch,

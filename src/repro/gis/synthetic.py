@@ -14,12 +14,11 @@ the roof outline, and the obstacle footprints (for suitable-area masking).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-from ..constants import DEG2RAD
 from ..errors import GISError
 from ..geometry import Point2D, Point3D, Polygon, Raster, RasterSpec, RoofPlaneFrame
 from .dsm import DigitalSurfaceModel, ObstacleFootprint
@@ -40,11 +39,15 @@ def chimney(u: float, v: float, side_m: float = 0.8, height_m: float = 1.5) -> O
     )
 
 
-def dormer(u: float, v: float, width_m: float = 2.0, depth_m: float = 1.6, height_m: float = 1.8) -> ObstacleFootprint:
+def dormer(
+    u: float, v: float, width_m: float = 2.0, depth_m: float = 1.6, height_m: float = 1.8
+) -> ObstacleFootprint:
     """A dormer window volume protruding from the roof plane."""
     return ObstacleFootprint(
         name="dormer",
-        polygon=Polygon.rectangle(u - width_m / 2, v - depth_m / 2, u + width_m / 2, v + depth_m / 2),
+        polygon=Polygon.rectangle(
+            u - width_m / 2, v - depth_m / 2, u + width_m / 2, v + depth_m / 2
+        ),
         height_m=height_m,
         clearance_m=0.4,
     )

@@ -17,7 +17,6 @@ off; the evaluator therefore always aggregates through this model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
 
 import numpy as np
 

@@ -1,7 +1,14 @@
-"""Cached staged pipeline, solver registry, and parallel batch execution."""
+"""Cached staged pipeline, solver registry, batch execution, campaign store."""
 
 from .batch import BatchResult, read_results_jsonl, run_batch, write_results_jsonl
 from .cache import CacheStats, StageCache, content_digest, default_cache_dir, resolve_cache
+from .store import (
+    CampaignSummary,
+    PointRecord,
+    ResultStore,
+    default_store_path,
+    resolve_store,
+)
 from .solvers import (
     SolverOutcome,
     available_solvers,
@@ -18,11 +25,18 @@ from .stages import (
     cached_suitable_grid,
     prepare_problem,
     run_scenario,
+    scenario_content_digest,
     solar_config_payload,
     weather_content_key,
 )
 
 __all__ = [
+    "CampaignSummary",
+    "PointRecord",
+    "ResultStore",
+    "default_store_path",
+    "resolve_store",
+    "scenario_content_digest",
     "BatchResult",
     "read_results_jsonl",
     "run_batch",

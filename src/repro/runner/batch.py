@@ -1,4 +1,4 @@
-"""Parallel batch execution of scenario fleets.
+"""Parallel batch execution of scenario fleets, with durable campaigns.
 
 The batch runner executes a list of :class:`~repro.scenario.ScenarioSpec`
 in a :class:`~concurrent.futures.ProcessPoolExecutor` and appends one JSON
@@ -19,6 +19,21 @@ thousands of pending futures) and finished results are collected with
 barrier.  Results are still returned in input order regardless of completion
 order, and all scenario inputs are seeded, so a parallel batch is
 bit-for-bit identical to a serial one.
+
+Campaigns
+---------
+Passing ``store=`` turns the batch into a *campaign*: every point is first
+enrolled in a SQLite-backed :class:`~repro.runner.store.ResultStore` (keyed
+by its scenario content digest), points already ``done`` from a previous
+run are skipped, failures are recorded per-point -- a worker exception or
+even a worker *death* fails only its own point, never the whole run -- and
+failed points are retried up to ``retries`` times.  The returned
+:class:`BatchResult` then carries a
+:class:`~repro.runner.store.CampaignSummary` with done/computed/skipped/
+failed/retried accounting plus the per-stage cache provenance of the
+points computed by this invocation.  Without a store the behaviour is the
+classic in-memory pass, where the first scenario failure raises a
+:class:`~repro.errors.ScenarioExecutionError` naming the failing point.
 """
 
 from __future__ import annotations
@@ -26,20 +41,32 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ScenarioExecutionError
 from ..scenario.spec import ScenarioSpec
 from .cache import PathLike, StageCache, resolve_cache
-from .stages import ScenarioResult, run_scenario
+from .stages import ScenarioResult, run_scenario, scenario_content_digest
+from .store import (
+    STATUS_DONE,
+    CampaignSummary,
+    ResultStore,
+    resolve_store,
+)
 
 #: In-flight submissions per worker process: enough to keep every worker
 #: busy while results stream back, small enough that a 10k-scenario fleet
 #: does not materialise 10k pending futures up front.
 INFLIGHT_PER_WORKER = 2
+
+#: Campaign name used when ``run_batch`` gets a store but no explicit name.
+DEFAULT_CAMPAIGN = "batch"
 
 
 def count_stage_flags(
@@ -69,10 +96,11 @@ class BatchResult:
     jobs: int
     results_path: Optional[Path] = None
     cache_dir: Optional[Path] = None
+    campaign: Optional[CampaignSummary] = None
 
     @property
     def n_scenarios(self) -> int:
-        """Number of scenarios executed."""
+        """Number of scenarios with results (computed or reloaded)."""
         return len(self.results)
 
     def by_name(self) -> Dict[str, ScenarioResult]:
@@ -105,6 +133,7 @@ class BatchResult:
             "cache_hits_by_stage": self.cache_hit_counts(),
             "cache_misses_by_stage": self.cache_miss_counts(),
             "results_path": None if self.results_path is None else str(self.results_path),
+            "campaign": None if self.campaign is None else self.campaign.as_dict(),
         }
 
 
@@ -126,20 +155,147 @@ def _worker_payload(
     return (spec.to_dict(), cache_dir, use_cache, mmap_arrays)
 
 
-def _run_scenario_worker(args: tuple) -> dict:
-    """Process-pool entry point: rebuild the spec, run it, return a record."""
+def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
+    """Process-pool entry point: rebuild the spec, run it, return a record.
+
+    Returns ``("ok", result_record)`` on success and
+    ``("error", {"error", "traceback"})`` when the scenario raises, so an
+    exception inside a worker never tears down the pool and the parent can
+    attribute the failure to its point (name + digest) instead of surfacing
+    a bare pool traceback.
+    """
     # The batch already parallelises across processes; keep the horizon
     # kernel single-threaded inside each worker to avoid oversubscription.
     os.environ.setdefault("REPRO_HORIZON_WORKERS", "1")
     spec_dict, cache_dir, use_cache, mmap_arrays = args
-    spec = ScenarioSpec.from_dict(spec_dict)
-    cache = (
-        StageCache(root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays)
-        if cache_dir
-        else None
-    )
-    result = run_scenario(spec, cache=cache, use_cache=use_cache)
-    return result.to_dict()
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        cache = (
+            StageCache(root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays)
+            if cache_dir
+            else None
+        )
+        result = run_scenario(spec, cache=cache, use_cache=use_cache)
+        return ("ok", result.to_dict())
+    except Exception as exc:
+        return (
+            "error",
+            {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            },
+        )
+
+
+def _point_error_message(name: str, digest: str, error: str) -> str:
+    """Failure text attributing a worker error to its campaign point."""
+    return f"scenario {name!r} (digest {digest[:12]}) failed: {error}"
+
+
+def _drive_points(
+    indices: Sequence[int],
+    specs: Sequence[ScenarioSpec],
+    stage_cache: StageCache,
+    use_cache: bool,
+    jobs: int,
+    on_start: Callable[[int], None],
+    on_done: Callable[[int, dict, float], None],
+    on_error: Callable[[int, str, str], bool],
+    on_interrupted: Callable[[int, str], bool],
+) -> None:
+    """Execute the points at ``indices``, serially or in worker processes.
+
+    ``on_done`` receives the point's wall time as measured *inside* the
+    worker (``runtime_s`` of the result record), so queueing delay behind
+    other in-flight points is never billed to the point itself.
+
+    ``on_error(index, error, traceback_text)`` handles a point whose own
+    code raised; returning True re-enqueues it (a retry).
+
+    ``on_interrupted(index, error)`` handles a point that was in flight
+    when a worker process *died* (OOM kill, segfault -- which breaks the
+    whole pool and poisons every pending future, so the casualties include
+    innocent points that merely shared the pool with the culprit).  The
+    driver rebuilds the executor and keeps going; returning True re-enqueues
+    the casualty.  One crashing worker can never take down the campaign.
+    """
+    queue = deque(indices)
+
+    if jobs == 1:
+        while queue:
+            index = queue.popleft()
+            on_start(index)
+            start = time.perf_counter()
+            try:
+                record = run_scenario(
+                    specs[index], cache=stage_cache, use_cache=use_cache
+                ).to_dict()
+            except Exception as exc:
+                if on_error(index, f"{type(exc).__name__}: {exc}", traceback.format_exc()):
+                    queue.append(index)
+                continue
+            on_done(index, record, time.perf_counter() - start)
+        return
+
+    cache_dir = str(stage_cache.root) if stage_cache.enabled else None
+    max_inflight = jobs * INFLIGHT_PER_WORKER
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    pending: Dict[object, int] = {}
+
+    def consume(index: int, future: object) -> None:
+        """Harvest one settled future into on_done / on_error."""
+        try:
+            status, record = future.result()
+        except Exception as exc:  # transport failures (unpicklable, ...)
+            if on_error(index, f"{type(exc).__name__}: {exc}", ""):
+                queue.append(index)
+            return
+        if status == "ok":
+            on_done(index, record, float(record.get("runtime_s", 0.0)))
+        else:
+            if on_error(index, record["error"], record.get("traceback", "")):
+                queue.append(index)
+
+    try:
+        while queue or pending:
+            while queue and len(pending) < max_inflight:
+                index = queue.popleft()
+                on_start(index)
+                payload = _worker_payload(
+                    specs[index], cache_dir, use_cache, stage_cache.mmap_arrays
+                )
+                pending[executor.submit(_run_scenario_worker, payload)] = index
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                if not isinstance(future.exception(), BrokenProcessPool):
+                    consume(index, future)
+                    continue
+                # A worker process died.  The pool is now unusable: harvest
+                # in-flight futures that did complete before the death, hand
+                # the rest to on_interrupted individually, and rebuild the
+                # pool so the remaining queue keeps running.
+                exc = future.exception()
+                broken = [index]
+                finished = []
+                for other, other_index in pending.items():
+                    if other.done() and not isinstance(
+                        other.exception(), BrokenProcessPool
+                    ):
+                        finished.append((other_index, other))
+                    else:
+                        broken.append(other_index)
+                pending.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=jobs)
+                for other_index, other in finished:
+                    consume(other_index, other)
+                for broken_index in broken:
+                    if on_interrupted(broken_index, f"worker process died: {exc}"):
+                        queue.append(broken_index)
+                break
+    finally:
+        executor.shutdown()
 
 
 def run_batch(
@@ -149,6 +305,9 @@ def run_batch(
     results_path: Optional[PathLike] = None,
     use_cache: bool = True,
     parallel: bool = True,
+    store: Union[ResultStore, PathLike, None] = None,
+    campaign: Optional[str] = None,
+    retries: int = 0,
 ) -> BatchResult:
     """Execute a scenario fleet, optionally in parallel, and store results.
 
@@ -167,6 +326,15 @@ def run_batch(
         Set False to bypass the stage cache entirely.
     parallel:
         Convenience switch for forcing serial execution.
+    store:
+        A :class:`~repro.runner.store.ResultStore` (or database path) that
+        turns the batch into a durable, resumable *campaign*; ``None`` (or
+        the string ``"none"``) keeps the pure in-memory path.
+    campaign:
+        Campaign name within the store (default ``"batch"``).
+    retries:
+        How often a failed point is re-attempted within this run
+        (store-backed campaigns only).
 
     Example
     -------
@@ -189,8 +357,8 @@ def run_batch(
     >>> batch.results[0].annual_energy_mwh > 0
     True
     >>> sorted(batch.summary())  # doctest: +NORMALIZE_WHITESPACE
-    ['cache_hits_by_stage', 'cache_misses_by_stage', 'jobs', 'n_scenarios',
-     'results_path', 'runtime_s', 'total_energy_mwh']
+    ['cache_hits_by_stage', 'cache_misses_by_stage', 'campaign', 'jobs',
+     'n_scenarios', 'results_path', 'runtime_s', 'total_energy_mwh']
     """
     specs = list(specs)
     if not specs:
@@ -198,13 +366,14 @@ def run_batch(
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ConfigurationError("scenario names within a batch must be unique")
+    if retries < 0:
+        raise ConfigurationError("retries must be >= 0")
 
     stage_cache = resolve_cache(cache, enabled=use_cache)
     # Workers reconstruct their cache handle from (dir, flag); the effective
     # flag honours both the handle's own state and the use_cache argument so
     # a disabled handle can never resurrect as an enabled default-dir cache.
     use_cache = stage_cache.enabled
-    cache_dir = str(stage_cache.root) if use_cache else None
 
     if jobs is None:
         jobs = min(len(specs), os.cpu_count() or 1)
@@ -212,34 +381,27 @@ def run_batch(
     if not parallel:
         jobs = 1
 
-    start = time.perf_counter()
-    if jobs == 1:
-        records = [
-            run_scenario(spec, cache=stage_cache, use_cache=use_cache).to_dict()
-            for spec in specs
-        ]
-    else:
-        work = [
-            _worker_payload(spec, cache_dir, use_cache, stage_cache.mmap_arrays)
-            for spec in specs
-        ]
-        records = [None] * len(work)
-        max_inflight = jobs * INFLIGHT_PER_WORKER
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            pending: Dict[object, int] = {}
-            next_index = 0
-            while next_index < len(work) or pending:
-                while next_index < len(work) and len(pending) < max_inflight:
-                    future = executor.submit(_run_scenario_worker, work[next_index])
-                    pending[future] = next_index
-                    next_index += 1
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    # .result() re-raises worker exceptions, like map() did.
-                    records[pending.pop(future)] = future.result()
-    runtime = time.perf_counter() - start
-
-    results = [ScenarioResult.from_dict(record) for record in records]
+    result_store = resolve_store(store)
+    owns_store = result_store is not None and not isinstance(store, ResultStore)
+    try:
+        start = time.perf_counter()
+        if result_store is None:
+            results = _run_in_memory(specs, stage_cache, use_cache, jobs)
+            summary: Optional[CampaignSummary] = None
+        else:
+            results, summary = _run_campaign(
+                specs,
+                stage_cache,
+                use_cache,
+                jobs,
+                result_store,
+                campaign if campaign else DEFAULT_CAMPAIGN,
+                retries,
+            )
+        runtime = time.perf_counter() - start
+    finally:
+        if owns_store:
+            result_store.close()
 
     path: Optional[Path] = None
     if results_path is not None:
@@ -252,7 +414,147 @@ def run_batch(
         jobs=jobs,
         results_path=path,
         cache_dir=stage_cache.root if stage_cache.enabled else None,
+        campaign=summary,
     )
+
+
+def _run_in_memory(
+    specs: Sequence[ScenarioSpec],
+    stage_cache: StageCache,
+    use_cache: bool,
+    jobs: int,
+) -> List[ScenarioResult]:
+    """The classic one-pass batch: any scenario failure aborts the run.
+
+    The failure is wrapped in a :class:`ScenarioExecutionError` naming the
+    point (scenario name + content digest) instead of surfacing a bare
+    worker traceback.
+    """
+    records: List[Optional[dict]] = [None] * len(specs)
+
+    def on_start(index: int) -> None:
+        pass
+
+    def on_done(index: int, record: dict, wall_time_s: float) -> None:
+        records[index] = record
+
+    def on_error(index: int, error: str, traceback_text: str) -> bool:
+        name = specs[index].name
+        digest = scenario_content_digest(specs[index])
+        message = _point_error_message(name, digest, error)
+        if traceback_text:
+            message = f"{message}\n{traceback_text}"
+        raise ScenarioExecutionError(message, scenario=name, digest=digest)
+
+    def on_interrupted(index: int, error: str) -> bool:
+        return on_error(index, error, "")
+
+    _drive_points(
+        range(len(specs)),
+        specs,
+        stage_cache,
+        use_cache,
+        jobs,
+        on_start,
+        on_done,
+        on_error,
+        on_interrupted,
+    )
+    return [ScenarioResult.from_dict(record) for record in records]
+
+
+def _run_campaign(
+    specs: Sequence[ScenarioSpec],
+    stage_cache: StageCache,
+    use_cache: bool,
+    jobs: int,
+    store: ResultStore,
+    campaign: str,
+    retries: int,
+) -> Tuple[List[ScenarioResult], CampaignSummary]:
+    """Store-backed execution: enroll, skip done, retry failures, account."""
+    enrolled = store.enroll(campaign, specs)
+    store.reset_running(campaign)
+    digests = [record.digest for record in enrolled]
+
+    todo = [i for i, record in enumerate(enrolled) if record.status != STATUS_DONE]
+    summary = CampaignSummary(
+        campaign=campaign,
+        n_points=len(specs),
+        skipped=len(specs) - len(todo),
+    )
+    attempts_this_run: Dict[int, int] = {}
+    interruptions: Dict[int, int] = {}
+    computed: Dict[int, ScenarioResult] = {}
+
+    def on_start(index: int) -> None:
+        store.mark_running(campaign, digests[index])
+
+    def on_done(index: int, record: dict, wall_time_s: float) -> None:
+        store.mark_done(campaign, digests[index], record, wall_time_s)
+        computed[index] = ScenarioResult.from_dict(record)
+
+    def on_error(index: int, error: str, traceback_text: str) -> bool:
+        message = _point_error_message(specs[index].name, digests[index], error)
+        if traceback_text:
+            message = f"{message}\n{traceback_text}"
+        store.mark_failed(campaign, digests[index], message)
+        attempt = attempts_this_run.get(index, 0)
+        if attempt < retries:
+            attempts_this_run[index] = attempt + 1
+            summary.retried += 1
+            return True
+        return False
+
+    def on_interrupted(index: int, error: str) -> bool:
+        # A worker death poisons every in-flight future, so most casualties
+        # are innocent bystanders of the culprit point (which cannot be
+        # identified).  Re-enqueue them without charging the error-retry
+        # budget, but bound the free passes so a point that deterministically
+        # kills its worker (e.g. per-point OOM) cannot loop forever.
+        message = _point_error_message(specs[index].name, digests[index], error)
+        store.mark_failed(campaign, digests[index], message)
+        count = interruptions.get(index, 0) + 1
+        interruptions[index] = count
+        if count <= retries + 1:
+            summary.retried += 1
+            return True
+        return False
+
+    _drive_points(
+        todo,
+        specs,
+        stage_cache,
+        use_cache,
+        jobs,
+        on_start,
+        on_done,
+        on_error,
+        on_interrupted,
+    )
+
+    summary.computed = len(computed)
+    computed_results = [computed[i] for i in sorted(computed)]
+    summary.stage_hits = count_stage_flags(computed_results, cached=True)
+    summary.stage_recomputes = count_stage_flags(computed_results, cached=False)
+
+    # Assemble results in input order -- freshly computed points from this
+    # run, previously-done points reloaded from the store -- and count
+    # done/failed over *this fleet's* digests (a campaign may hold further
+    # points from earlier enrollments; `repro campaign status` shows those).
+    results: List[ScenarioResult] = []
+    for index, digest in enumerate(digests):
+        if index in computed:
+            summary.done += 1
+            results.append(computed[index])
+            continue
+        record = store.point(campaign, digest)
+        if record.status == STATUS_DONE:
+            summary.done += 1
+            results.append(record.result())
+        else:
+            summary.failed += 1
+    return results, summary
 
 
 def write_results_jsonl(results: Sequence[ScenarioResult], path: PathLike) -> None:

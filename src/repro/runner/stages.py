@@ -44,7 +44,7 @@ from ..solar.irradiance_map import RoofSolarField, SolarSimulationConfig, comput
 from ..solar.shading import HorizonMap, compute_horizon_map
 from ..solar.time_series import TimeGrid
 from ..weather.records import WeatherSeries
-from .cache import StageCache, resolve_cache
+from .cache import CACHE_FORMAT_VERSION, StageCache, content_digest, resolve_cache
 from .solvers import SolverOutcome, solve
 
 #: Stage names used both as cache sub-directories and as keys of the
@@ -59,6 +59,18 @@ STAGE_HORIZON = "horizon"
 # ---------------------------------------------------------------------------
 # Content payloads for non-declarative inputs
 # ---------------------------------------------------------------------------
+
+
+def scenario_content_digest(spec: ScenarioSpec) -> str:
+    """Content digest identifying one scenario as a campaign point.
+
+    The digest covers the scenario's full declarative dictionary under the
+    same canonical-JSON hashing (and format version) the stage cache uses
+    for its entries, so a campaign point's identity changes exactly when any
+    input that could change its result changes.  The durable result store
+    (:mod:`repro.runner.store`) keys its rows on this digest.
+    """
+    return content_digest({"format": CACHE_FORMAT_VERSION, "scenario": spec.to_dict()})
 
 
 def solar_config_payload(config: SolarSimulationConfig) -> dict:

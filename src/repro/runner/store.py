@@ -1,0 +1,479 @@
+"""Durable, resumable campaign state: a SQLite-backed result store.
+
+A *campaign* is a named set of scenario points whose execution state must
+survive crashes, OOM kills and CTRL-C.  The :class:`ResultStore` keeps one
+row per point in a SQLite database (WAL mode, so a reader -- ``repro
+campaign status`` -- never blocks the writer), keyed by the campaign name
+plus the scenario's stage-cache content digest
+(:func:`~repro.runner.stages.scenario_content_digest`).  Each row records:
+
+``status``
+    ``pending`` (enrolled, not started), ``running`` (claimed by the
+    current run), ``done`` (payload holds the full
+    :class:`~repro.runner.stages.ScenarioResult` record) or ``failed``
+    (``error`` holds the wrapped worker traceback).
+``attempts`` / ``wall_time_s`` / ``error``
+    Per-point accounting: how often the point was started, how long the
+    successful run took, and the last failure text.
+``spec``
+    The point's full declarative :class:`~repro.scenario.ScenarioSpec`
+    dictionary, so ``repro campaign resume`` can rebuild the work list from
+    the store alone -- no original command line or plan file needed.
+
+The store is written only by the parent (campaign-driving) process; worker
+processes never touch it, which keeps the SQLite access single-writer and
+makes a worker death unable to corrupt campaign state.  ``export`` renders
+the ``done`` rows through the existing JSONL writer, byte-for-byte
+compatible with :func:`~repro.runner.batch.write_results_jsonl`, so every
+downstream consumer (sweep aggregation, reports) works unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..scenario.spec import ScenarioSpec
+from .cache import PathLike, default_cache_dir
+from .stages import ScenarioResult, scenario_content_digest
+
+#: Environment variable overriding the default store location.
+STORE_PATH_ENV = "REPRO_STORE_PATH"
+
+#: Bump when the table layout changes; old stores are rejected, not migrated.
+STORE_SCHEMA_VERSION = 1
+
+#: Row lifecycle states.
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    campaign TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    name TEXT NOT NULL,
+    position INTEGER NOT NULL,
+    status TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    wall_time_s REAL,
+    error TEXT,
+    spec TEXT NOT NULL,
+    result TEXT,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL,
+    PRIMARY KEY (campaign, digest)
+);
+CREATE INDEX IF NOT EXISTS idx_points_status ON points (campaign, status);
+"""
+
+
+def default_store_path() -> Path:
+    """Store location: ``$REPRO_STORE_PATH`` or ``<cache dir>/campaigns.sqlite``."""
+    env = os.environ.get(STORE_PATH_ENV)
+    if env:
+        return Path(env)
+    return default_cache_dir() / "campaigns.sqlite"
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One campaign point as stored (immutable snapshot of a row)."""
+
+    campaign: str
+    digest: str
+    name: str
+    position: int
+    status: str
+    attempts: int
+    wall_time_s: Optional[float]
+    error: Optional[str]
+    spec_dict: Mapping[str, Any]
+    result_dict: Optional[Mapping[str, Any]]
+    created_at: float
+    updated_at: float
+
+    def spec(self) -> ScenarioSpec:
+        """Rebuild the point's declarative scenario."""
+        return ScenarioSpec.from_dict(self.spec_dict)
+
+    def result(self) -> ScenarioResult:
+        """Rebuild the stored result (``done`` rows only)."""
+        if self.result_dict is None:
+            raise ConfigurationError(
+                f"campaign point {self.name!r} has no stored result (status {self.status})"
+            )
+        return ScenarioResult.from_dict(self.result_dict)
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome accounting of one campaign run (or resume).
+
+    ``done`` counts every completed point in the campaign after the run;
+    ``computed`` the points executed by *this* invocation, ``skipped`` the
+    points whose stored result was reused, ``failed`` the points still
+    failed after retries, and ``retried`` the number of retry attempts this
+    invocation performed.  ``stage_hits`` / ``stage_recomputes`` aggregate
+    the stage-cache provenance of the computed points only, so a resume
+    proves it recomputed exactly the missing work.
+    """
+
+    campaign: str
+    n_points: int = 0
+    done: int = 0
+    computed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    retried: int = 0
+    stage_hits: Dict[str, int] = field(default_factory=dict)
+    stage_recomputes: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "n_points": self.n_points,
+            "done": self.done,
+            "computed": self.computed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "retried": self.retried,
+            "stage_hits": dict(self.stage_hits),
+            "stage_recomputes": dict(self.stage_recomputes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSummary":
+        try:
+            return cls(
+                campaign=str(data["campaign"]),
+                n_points=int(data.get("n_points", 0)),
+                done=int(data.get("done", 0)),
+                computed=int(data.get("computed", 0)),
+                skipped=int(data.get("skipped", 0)),
+                failed=int(data.get("failed", 0)),
+                retried=int(data.get("retried", 0)),
+                stage_hits={str(k): int(v) for k, v in data.get("stage_hits", {}).items()},
+                stage_recomputes={
+                    str(k): int(v) for k, v in data.get("stage_recomputes", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed campaign summary: {exc}") from exc
+
+    def report(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"campaign {self.campaign!r}: {self.done}/{self.n_points} done "
+            f"(computed {self.computed}, skipped {self.skipped}, "
+            f"failed {self.failed}, retried {self.retried})"
+        )
+
+
+class ResultStore:
+    """SQLite-backed durable store of campaign points.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first use, parent directories included).
+        Defaults to :func:`default_store_path`.
+
+    The store is safe to reopen concurrently for *reading* (WAL mode); the
+    campaign runner is the single writer.  Use as a context manager or call
+    :meth:`close` to release the connection.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> from repro.runner.store import ResultStore
+    >>> from repro.scenario import get_scenario
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> store = ResultStore(os.path.join(tmp.name, "campaigns.sqlite"))
+    >>> points = store.enroll("demo", [get_scenario("residential-south")])
+    >>> [p.status for p in points]
+    ['pending']
+    >>> store.status_counts("demo")["pending"]
+    1
+    >>> store.close(); tmp.cleanup()
+    """
+
+    def __init__(self, path: Union[PathLike, None] = None) -> None:
+        self.path = Path(path) if path is not None else default_store_path()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            elif int(row["value"]) != STORE_SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"result store {self.path} has schema version {row['value']}, "
+                    f"this build expects {STORE_SCHEMA_VERSION}"
+                )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- enrollment ---------------------------------------------------------------
+
+    def enroll(
+        self, campaign: str, specs: Sequence[ScenarioSpec]
+    ) -> List[PointRecord]:
+        """Register the campaign's points, keeping any existing state.
+
+        Idempotent: a digest already enrolled keeps its row (status,
+        attempts, result) untouched, so enrolling the same fleet again is
+        exactly the resume entry point.  Returns the stored records in
+        ``specs`` order.
+        """
+        if not campaign:
+            raise ConfigurationError("a campaign needs a non-empty name")
+        digests = [scenario_content_digest(spec) for spec in specs]
+        if len(set(digests)) != len(digests):
+            raise ConfigurationError(
+                f"campaign {campaign!r}: duplicate scenario content digests "
+                "(identical specs enrolled twice)"
+            )
+        now = time.time()
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(position), -1) AS top FROM points WHERE campaign=?",
+                (campaign,),
+            ).fetchone()
+            next_position = int(row["top"]) + 1
+            for spec, digest in zip(specs, digests):
+                cursor = self._conn.execute(
+                    """
+                    INSERT OR IGNORE INTO points
+                        (campaign, digest, name, position, status, attempts,
+                         spec, created_at, updated_at)
+                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
+                    """,
+                    (
+                        campaign,
+                        digest,
+                        spec.name,
+                        next_position,
+                        json.dumps(spec.to_dict(), sort_keys=True),
+                        now,
+                        now,
+                    ),
+                )
+                if cursor.rowcount:
+                    next_position += 1
+        return [self.point(campaign, digest) for digest in digests]
+
+    # -- state transitions --------------------------------------------------------
+
+    def _touch(self, campaign: str, digest: str, **updates: Any) -> None:
+        updates["updated_at"] = time.time()
+        columns = ", ".join(f"{name}=?" for name in updates)
+        with self._conn:
+            cursor = self._conn.execute(
+                f"UPDATE points SET {columns} WHERE campaign=? AND digest=?",
+                (*updates.values(), campaign, digest),
+            )
+        if cursor.rowcount == 0:
+            raise ConfigurationError(
+                f"campaign {campaign!r} has no point with digest {digest[:12]}..."
+            )
+
+    def mark_running(self, campaign: str, digest: str) -> None:
+        """Claim a point for execution (increments its attempt count)."""
+        with self._conn:
+            cursor = self._conn.execute(
+                """
+                UPDATE points
+                SET status=?, attempts=attempts + 1, error=NULL, updated_at=?
+                WHERE campaign=? AND digest=?
+                """,
+                (STATUS_RUNNING, time.time(), campaign, digest),
+            )
+        if cursor.rowcount == 0:
+            raise ConfigurationError(
+                f"campaign {campaign!r} has no point with digest {digest[:12]}..."
+            )
+
+    def mark_done(
+        self,
+        campaign: str,
+        digest: str,
+        result: Union[ScenarioResult, Mapping[str, Any]],
+        wall_time_s: Optional[float] = None,
+    ) -> None:
+        """Record a completed point with its full result payload."""
+        record = result.to_dict() if isinstance(result, ScenarioResult) else dict(result)
+        self._touch(
+            campaign,
+            digest,
+            status=STATUS_DONE,
+            result=json.dumps(record, sort_keys=True),
+            wall_time_s=wall_time_s,
+            error=None,
+        )
+
+    def mark_failed(self, campaign: str, digest: str, error: str) -> None:
+        """Record a failed attempt with the wrapped worker error text."""
+        self._touch(campaign, digest, status=STATUS_FAILED, error=str(error))
+
+    def reset_running(self, campaign: str) -> int:
+        """Fail rows stuck in ``running`` (a previous driver died mid-run).
+
+        Returns the number of rows transitioned.  The rows become ``failed``
+        (not ``pending``) so the interruption stays auditable in ``error``;
+        the campaign runner re-attempts failed rows on resume anyway.
+        """
+        now = time.time()
+        with self._conn:
+            cursor = self._conn.execute(
+                """
+                UPDATE points
+                SET status='failed',
+                    error='interrupted: driver exited while the point was running',
+                    updated_at=?
+                WHERE campaign=? AND status='running'
+                """,
+                (now, campaign),
+            )
+        return cursor.rowcount
+
+    # -- queries ------------------------------------------------------------------
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> PointRecord:
+        return PointRecord(
+            campaign=row["campaign"],
+            digest=row["digest"],
+            name=row["name"],
+            position=int(row["position"]),
+            status=row["status"],
+            attempts=int(row["attempts"]),
+            wall_time_s=None if row["wall_time_s"] is None else float(row["wall_time_s"]),
+            error=row["error"],
+            spec_dict=json.loads(row["spec"]),
+            result_dict=None if row["result"] is None else json.loads(row["result"]),
+            created_at=float(row["created_at"]),
+            updated_at=float(row["updated_at"]),
+        )
+
+    def point(self, campaign: str, digest: str) -> PointRecord:
+        """The stored record of one point."""
+        row = self._conn.execute(
+            "SELECT * FROM points WHERE campaign=? AND digest=?", (campaign, digest)
+        ).fetchone()
+        if row is None:
+            raise ConfigurationError(
+                f"campaign {campaign!r} has no point with digest {digest[:12]}..."
+            )
+        return self._record(row)
+
+    def points(
+        self, campaign: str, status: Optional[str] = None
+    ) -> List[PointRecord]:
+        """All points of a campaign in enrollment order (optionally filtered)."""
+        if status is not None and status not in _STATUSES:
+            raise ConfigurationError(
+                f"unknown status {status!r}; expected one of {', '.join(_STATUSES)}"
+            )
+        if status is None:
+            rows = self._conn.execute(
+                "SELECT * FROM points WHERE campaign=? ORDER BY position", (campaign,)
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM points WHERE campaign=? AND status=? ORDER BY position",
+                (campaign, status),
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
+    def status_counts(self, campaign: str) -> Dict[str, int]:
+        """Point counts per status (every status key present, possibly 0)."""
+        counts = {status: 0 for status in _STATUSES}
+        for row in self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM points WHERE campaign=? GROUP BY status",
+            (campaign,),
+        ):
+            counts[row["status"]] = int(row["n"])
+        return counts
+
+    def campaigns(self) -> List[Tuple[str, Dict[str, int]]]:
+        """Every campaign in the store with its status counts."""
+        names = [
+            row["campaign"]
+            for row in self._conn.execute(
+                "SELECT DISTINCT campaign FROM points ORDER BY campaign"
+            )
+        ]
+        return [(name, self.status_counts(name)) for name in names]
+
+    def results(self, campaign: str) -> List[ScenarioResult]:
+        """The ``done`` results of a campaign, in enrollment order."""
+        return [record.result() for record in self.points(campaign, STATUS_DONE)]
+
+    # -- export -------------------------------------------------------------------
+
+    def export(self, campaign: str, path: PathLike) -> int:
+        """Write the campaign's completed results as a JSONL store.
+
+        The output goes through the exact writer the in-memory batch runner
+        uses, so it is byte-compatible with :func:`run_batch`'s
+        ``results_path`` output and consumable by every downstream reader.
+        Returns the number of records written.
+        """
+        from .batch import write_results_jsonl
+
+        results = self.results(campaign)
+        write_results_jsonl(results, path)
+        return len(results)
+
+
+def resolve_store(
+    store: Union["ResultStore", PathLike, None]
+) -> Optional[ResultStore]:
+    """Normalise the ``store`` argument of the campaign entry points.
+
+    ``None`` or the string ``"none"`` select the pure in-memory path; a path
+    opens (or creates) a store there; an existing :class:`ResultStore` is
+    passed through.
+    """
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, str) and store.lower() == "none":
+        return None
+    return ResultStore(store)

@@ -80,7 +80,8 @@ def beam_normal_clearsky(
     air_mass = relative_air_mass(elevation, altitude_m)
     delta_r = rayleigh_optical_thickness(air_mass)
     with np.errstate(invalid="ignore"):
-        attenuation = np.exp(-0.8662 * tl * np.where(np.isfinite(air_mass), air_mass, 0.0) * delta_r)
+        finite_air_mass = np.where(np.isfinite(air_mass), air_mass, 0.0)
+        attenuation = np.exp(-0.8662 * tl * finite_air_mass * delta_r)
     beam = i0 * attenuation
     return np.where(elevation > 0.0, beam, 0.0)
 

@@ -61,7 +61,11 @@ class LinkeTurbidityProfile:
         # Periodic linear interpolation: extend the anchors by one month on
         # each side so days before mid-January / after mid-December wrap.
         anchors = np.concatenate(
-            ([_MONTH_MID_DOY[-1] - DAYS_PER_YEAR], _MONTH_MID_DOY, [_MONTH_MID_DOY[0] + DAYS_PER_YEAR])
+            (
+                [_MONTH_MID_DOY[-1] - DAYS_PER_YEAR],
+                _MONTH_MID_DOY,
+                [_MONTH_MID_DOY[0] + DAYS_PER_YEAR],
+            )
         )
         extended = np.concatenate(([values[-1]], values, [values[0]]))
         return np.interp(day, anchors, extended)

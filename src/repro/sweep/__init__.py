@@ -34,8 +34,10 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from ..errors import ScenarioExecutionError
 from ..runner.batch import run_batch
 from ..runner.cache import PathLike, StageCache
+from ..runner.store import ResultStore
 from .aggregate import (
     DEFAULT_METRICS,
     PivotTable,
@@ -66,6 +68,9 @@ def run_sweep(
     results_path: Optional[PathLike] = None,
     use_cache: bool = True,
     parallel: bool = True,
+    store: Union[ResultStore, PathLike, None] = None,
+    campaign: Optional[str] = None,
+    retries: int = 0,
 ) -> SweepResult:
     """Expand a sweep plan and execute every point through the batch runner.
 
@@ -84,12 +89,32 @@ def run_sweep(
         as a JSONL store (one line per point, in point order).
     use_cache, parallel:
         Forwarded to :func:`repro.runner.run_batch`.
+    store:
+        A durable :class:`~repro.runner.store.ResultStore` (or database
+        path) routing the sweep through a resumable campaign: points already
+        completed in an earlier run are skipped, failed points are retried
+        up to ``retries`` times, and a re-run of an unchanged sweep is a
+        no-op.  ``None`` (or ``"none"``) keeps the in-memory path.
+    campaign:
+        Campaign name within the store; defaults to
+        :attr:`SweepPlan.campaign_name` (``sweep:<plan name>``).
+    retries:
+        Per-point retry budget for store-backed sweeps.
 
     Returns
     -------
     SweepResult
         Per-point results joined with their axis coordinates, plus
-        cache-reuse accounting (:meth:`SweepResult.stage_recompute_counts`).
+        cache-reuse accounting (:meth:`SweepResult.stage_recompute_counts`)
+        and -- for store-backed sweeps -- the campaign summary.
+
+    Raises
+    ------
+    ScenarioExecutionError
+        For store-backed sweeps whose points still fail after retries (the
+        failures stay recorded in the store, so fixing the cause and
+        re-running resumes exactly the missing points).  In-memory sweeps
+        raise on the first failing point, like :func:`repro.runner.run_batch`.
     """
     points = plan.points()
     batch = run_batch(
@@ -99,7 +124,22 @@ def run_sweep(
         results_path=results_path,
         use_cache=use_cache,
         parallel=parallel,
+        store=store,
+        campaign=campaign if campaign else plan.campaign_name,
+        retries=retries,
     )
+    if batch.campaign is not None and batch.campaign.failed:
+        failed = [
+            point.name
+            for point in points
+            if point.name not in {result.scenario for result in batch.results}
+        ]
+        raise ScenarioExecutionError(
+            f"sweep {plan.name!r}: {batch.campaign.failed} point(s) failed "
+            f"({', '.join(failed[:5])}{', ...' if len(failed) > 5 else ''}); "
+            "the store keeps their failure rows -- fix the cause and re-run "
+            "to resume exactly the missing points"
+        )
     return aggregate_batch(
         plan_name=plan.name,
         axis_keys=[axis.key for axis in plan.axes],

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..errors import ConfigurationError
 from ..runner.batch import BatchResult, count_stage_flags
 from ..runner.stages import ScenarioResult
+from ..runner.store import CampaignSummary
 
 PathLike = Union[str, Path]
 
@@ -103,6 +104,9 @@ class SweepResult:
     points: List[SweepPointResult]
     runtime_s: float = 0.0
     jobs: int = 1
+    #: Durable-store accounting when the sweep ran as a campaign
+    #: (``run_sweep(store=...)``); ``None`` for in-memory sweeps.
+    campaign: Optional[CampaignSummary] = None
 
     @property
     def n_points(self) -> int:
@@ -210,6 +214,7 @@ class SweepResult:
             "total_energy_mwh": sum(r.annual_energy_mwh for r in self.results()),
             "cache_hits_by_stage": self.cache_hit_counts(),
             "cache_recomputes_by_stage": self.stage_recompute_counts(),
+            "campaign": None if self.campaign is None else self.campaign.as_dict(),
         }
 
     # -- (de)serialisation ---------------------------------------------------------
@@ -220,18 +225,21 @@ class SweepResult:
             "axis_keys": list(self.axis_keys),
             "runtime_s": self.runtime_s,
             "jobs": self.jobs,
+            "campaign": None if self.campaign is None else self.campaign.as_dict(),
             "points": [point.to_dict() for point in self.points],
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
         try:
+            campaign = data.get("campaign")
             return cls(
                 plan_name=str(data["plan_name"]),
                 axis_keys=tuple(str(k) for k in data["axis_keys"]),
                 points=[SweepPointResult.from_dict(p) for p in data["points"]],
                 runtime_s=float(data.get("runtime_s", 0.0)),
                 jobs=int(data.get("jobs", 1)),
+                campaign=None if campaign is None else CampaignSummary.from_dict(campaign),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed sweep result: {exc}") from exc
@@ -284,4 +292,5 @@ def aggregate_batch(
         points=joined,
         runtime_s=batch.runtime_s,
         jobs=batch.jobs,
+        campaign=batch.campaign,
     )

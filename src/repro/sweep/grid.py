@@ -80,7 +80,7 @@ class SweepAxis:
         if not self.values:
             raise ConfigurationError(f"sweep axis {self.name!r} has no values")
         if self.labels is not None:
-            object.__setattr__(self, "labels", tuple(str(l) for l in self.labels))
+            object.__setattr__(self, "labels", tuple(str(label) for label in self.labels))
             if len(self.labels) != len(self.values):
                 raise ConfigurationError(
                     f"sweep axis {self.name!r}: {len(self.labels)} labels for "
@@ -226,6 +226,18 @@ class SweepPlan:
     def specs(self) -> List[ScenarioSpec]:
         """The concrete scenarios of the sweep, in point order."""
         return [point.spec for point in self.points()]
+
+    @property
+    def campaign_name(self) -> str:
+        """Default result-store campaign name of this sweep.
+
+        Namespaced under ``sweep:`` so ad-hoc batch campaigns and sweep
+        campaigns sharing one store file cannot collide; the points
+        themselves are further keyed by their scenario content digests, so
+        re-running a changed plan under the same campaign name simply
+        enrolls the new points next to the old ones.
+        """
+        return f"sweep:{self.name}"
 
     # -- (de)serialisation ---------------------------------------------------------
 

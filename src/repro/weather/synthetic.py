@@ -35,7 +35,10 @@ class SyntheticWeatherConfig:
 
     station: StationMetadata = field(
         default_factory=lambda: StationMetadata(
-            name="turin-synthetic", latitude_deg=TURIN_LATITUDE, longitude_deg=TURIN_LONGITUDE, altitude_m=240.0
+            name="turin-synthetic",
+            latitude_deg=TURIN_LATITUDE,
+            longitude_deg=TURIN_LONGITUDE,
+            altitude_m=240.0,
         )
     )
     linke_turbidity: LinkeTurbidityProfile = field(

@@ -25,6 +25,17 @@ from repro.solar import SolarSimulationConfig, TimeGrid, compute_roof_solar_fiel
 from repro.weather import SyntheticWeatherConfig, generate_weather
 
 
+@pytest.fixture(autouse=True)
+def isolated_campaign_store(tmp_path, monkeypatch):
+    """Point the default campaign result store at a per-test location.
+
+    Keeps CLI/sweep tests -- which fall back to ``$REPRO_STORE_PATH`` or the
+    user cache directory -- hermetic: no test reads another test's (or the
+    developer's) campaign state, and nothing leaks into ``~/.cache``.
+    """
+    monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "test-campaigns.sqlite"))
+
+
 @pytest.fixture(scope="session")
 def small_time_grid() -> TimeGrid:
     """Two-hourly samples of every 30th day (156 samples)."""

@@ -26,7 +26,6 @@ from repro.analysis import (
 )
 from repro.core import compute_suitability, greedy_floorplan, traditional_floorplan
 from repro.errors import IOFormatError, ReproError
-from repro.gis import DigitalSurfaceModel
 from repro.io import (
     load_placement,
     load_report,
@@ -39,7 +38,6 @@ from repro.io import (
     write_asc,
     write_weather_csv,
 )
-from repro.solar import TimeGrid
 
 
 class TestEnergyAnalysis:

@@ -95,6 +95,118 @@ class TestBatch:
         assert "1 worker(s)" in capsys.readouterr().out
 
 
+class TestCampaign:
+    def test_run_status_export_rerun_noop(self, capsys, cache_dir, tmp_path):
+        store = str(tmp_path / "campaigns.sqlite")
+        exported = tmp_path / "exported.jsonl"
+        run_args = [
+            "campaign",
+            "run",
+            "smoke",
+            "fleet-a-n6",
+            "fleet-b-n8",
+            "--store",
+            store,
+            "--cache-dir",
+            cache_dir,
+            "--serial",
+        ]
+        assert main(run_args) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'smoke': 2/2 done (computed 2, skipped 0" in out
+
+        assert main(["campaign", "status", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out and "fleet-a-n6" in out
+
+        assert main(["campaign", "status", "--store", store]) == 0
+        assert "smoke" in capsys.readouterr().out
+
+        code = main(
+            ["campaign", "export", "smoke", "--store", store, "--results", str(exported)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in exported.read_text().splitlines()]
+        assert [record["scenario"] for record in records] == ["fleet-a-n6", "fleet-b-n8"]
+
+        # Re-running the identical campaign is a pure no-op resume.
+        assert main(run_args) == 0
+        assert "computed 0, skipped 2" in capsys.readouterr().out
+
+    def test_resume_from_store_alone(self, capsys, cache_dir, tmp_path):
+        store = str(tmp_path / "campaigns.sqlite")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "resumable",
+                    "residential-south",
+                    "--store",
+                    store,
+                    "--cache-dir",
+                    cache_dir,
+                    "--serial",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Resume needs no scenario arguments: the specs live in the store.
+        assert (
+            main(
+                [
+                    "campaign",
+                    "resume",
+                    "resumable",
+                    "--store",
+                    store,
+                    "--cache-dir",
+                    cache_dir,
+                    "--serial",
+                ]
+            )
+            == 0
+        )
+        assert "computed 0, skipped 1" in capsys.readouterr().out
+
+    def test_status_json_and_unknown_campaign(self, capsys, tmp_path):
+        store = str(tmp_path / "campaigns.sqlite")
+        assert main(["campaign", "status", "nope", "--store", store]) == 2
+        assert "no campaign" in capsys.readouterr().err
+        assert main(["campaign", "export", "nope", "--store", store, "--results", "x"]) == 2
+        capsys.readouterr()
+
+    def test_store_none_rejected_for_campaigns(self, capsys, tmp_path):
+        code = main(["campaign", "run", "c", "residential-south", "--store", "none"])
+        assert code == 2
+        assert "--store cannot be 'none'" in capsys.readouterr().err
+
+    def test_sweep_uses_store_and_resumes(self, capsys, cache_dir, tmp_path):
+        store = str(tmp_path / "campaigns.sqlite")
+        args = [
+            "sweep",
+            "--base",
+            "residential-south",
+            "--axis",
+            "n_modules=3,6",
+            "--serial",
+            "--cache-dir",
+            cache_dir,
+            "--store",
+            store,
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "computed 2, skipped 0" in captured.err
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "computed 0, skipped 2" in captured.err
+        # The in-memory escape hatch still works.
+        assert main(args[:-1] + ["none"]) == 0
+        assert "campaign" not in capsys.readouterr().err
+
+
 class TestCompare:
     def test_two_solvers(self, capsys, cache_dir):
         code = main(

@@ -397,7 +397,9 @@ class TestILPAndExhaustive:
     def test_ilp_at_least_as_good_as_greedy_on_surrogate(self, tiny_problem):
         suitability = compute_suitability(tiny_problem.solar)
         greedy = greedy_floorplan(tiny_problem, suitability=suitability)
-        ilp = ilp_floorplan(tiny_problem, suitability=suitability, config=ILPConfig(time_limit_s=20.0))
+        ilp = ilp_floorplan(
+            tiny_problem, suitability=suitability, config=ILPConfig(time_limit_s=20.0)
+        )
 
         def surrogate(placement):
             total = 0.0

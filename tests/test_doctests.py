@@ -22,6 +22,7 @@ import repro
 import repro.core.evaluation
 import repro.runner.batch
 import repro.runner.cache
+import repro.runner.store
 import repro.scenario.spec
 import repro.sweep.grid
 import repro.sweep.report
@@ -32,6 +33,7 @@ AUDITED_MODULES = {
     repro.core.evaluation: ["PlacementEvaluator"],
     repro.runner.batch: ["run_batch"],
     repro.runner.cache: ["StageCache"],
+    repro.runner.store: ["ResultStore"],
     repro.scenario.spec: ["ScenarioSpec", "ScenarioSpec.with_overrides"],
     repro.sweep.grid: ["SweepPlan"],
     repro.sweep.report: ["render_markdown_table"],

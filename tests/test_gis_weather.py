@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GISError, WeatherError
-from repro.geometry import Point2D, Polygon
+from repro.geometry import Polygon
 from repro.gis import (
     DigitalSurfaceModel,
     ObstacleFootprint,
@@ -320,7 +320,9 @@ class TestWeather:
     def test_summer_warmer_than_winter(self, small_weather, small_time_grid):
         summer = (small_time_grid.days_of_year > 150) & (small_time_grid.days_of_year < 240)
         winter = (small_time_grid.days_of_year < 60) | (small_time_grid.days_of_year > 330)
-        assert small_weather.temperature[summer].mean() > small_weather.temperature[winter].mean() + 5
+        summer_mean = small_weather.temperature[summer].mean()
+        winter_mean = small_weather.temperature[winter].mean()
+        assert summer_mean > winter_mean + 5
 
     def test_clearsky_index_bounds(self, small_time_grid):
         index = generate_clearsky_index(small_time_grid, seed=0)
@@ -338,8 +340,12 @@ class TestWeather:
             TemperatureModel(seasonal_amplitude_c=-1.0)
 
     def test_temperature_clearness_coupling(self, small_time_grid):
-        clear = generate_temperature(small_time_grid, clearsky_index=np.ones(small_time_grid.n_samples), seed=0)
-        overcast = generate_temperature(small_time_grid, clearsky_index=np.full(small_time_grid.n_samples, 0.2), seed=0)
+        clear = generate_temperature(
+            small_time_grid, clearsky_index=np.ones(small_time_grid.n_samples), seed=0
+        )
+        overcast = generate_temperature(
+            small_time_grid, clearsky_index=np.full(small_time_grid.n_samples, 0.2), seed=0
+        )
         assert clear.mean() > overcast.mean()
 
     def test_scale_weather(self, small_weather):

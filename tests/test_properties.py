@@ -8,7 +8,6 @@ series/parallel panel model.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -101,7 +101,9 @@ class TestEmpiricalModuleModel:
 
     def test_power_proportional_to_irradiance(self):
         model = paper_module_model()
-        power = model.power_at_cell_temperature(np.array([250.0, 500.0, 1000.0]), np.array([25.0] * 3))
+        power = model.power_at_cell_temperature(
+            np.array([250.0, 500.0, 1000.0]), np.array([25.0] * 3)
+        )
         assert power[1] / power[0] == pytest.approx(2.0)
         assert power[2] / power[1] == pytest.approx(2.0)
 
@@ -296,7 +298,9 @@ class TestMPPT:
 
     def test_perturb_and_observe_finds_peak(self):
         curve = lambda v: -((v - 24.0) ** 2) + 160.0  # noqa: E731
-        result = perturb_and_observe(curve, v_start=5.0, v_min=0.0, v_max=40.0, step=0.5, n_steps=300)
+        result = perturb_and_observe(
+            curve, v_start=5.0, v_min=0.0, v_max=40.0, step=0.5, n_steps=300
+        )
         assert result.converged_voltage == pytest.approx(24.0, abs=1.0)
         assert result.converged_power == pytest.approx(160.0, abs=1.0)
 
@@ -312,7 +316,8 @@ class TestWiring:
 
     def test_extra_length_is_manhattan_minus_connector(self):
         positions = [Point2D(0.0, 0.0), Point2D(3.0, 2.0)]
-        assert string_extra_length(positions, WiringSpec(connector_length_m=1.0)) == pytest.approx(4.0)
+        extra = string_extra_length(positions, WiringSpec(connector_length_m=1.0))
+        assert extra == pytest.approx(4.0)
 
     def test_single_module_string(self):
         assert string_extra_length([Point2D(0, 0)]) == 0.0

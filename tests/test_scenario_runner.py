@@ -20,8 +20,6 @@ from repro.runner import (
 )
 from repro.scenario import (
     ScenarioSpec,
-    SolverSpec,
-    TimeSpec,
     WeatherSpec,
     builtin_scenarios,
     get_scenario,
