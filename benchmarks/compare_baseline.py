@@ -42,13 +42,22 @@ BASELINE_FORMAT_VERSION = 1
 
 
 def load_run_medians(timings_path: Path) -> Dict[str, float]:
-    """Extract ``{fullname: median_seconds}`` from a pytest-benchmark JSON."""
-    data = json.loads(timings_path.read_text(encoding="utf-8"))
+    """Extract ``{fullname: median_seconds}`` from a pytest-benchmark JSON.
+
+    Tolerant of a missing, unparsable, or empty timings file (a crashed
+    bench session): returns ``{}`` so the caller can still write a
+    trajectory point recording that the run produced no medians, and gate
+    afterwards.
+    """
+    if not timings_path.exists():
+        return {}
+    try:
+        data = json.loads(timings_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return {}
     medians: Dict[str, float] = {}
     for bench in data.get("benchmarks", []):
         medians[bench["fullname"]] = float(bench["stats"]["median"])
-    if not medians:
-        raise SystemExit(f"error: {timings_path} contains no benchmark records")
     return medians
 
 
@@ -132,12 +141,18 @@ def compare(
 
 
 def write_trajectory(path: Path, medians: Dict[str, float]) -> None:
-    """Write one benchmark-history point (commit metadata from CI env vars)."""
+    """Write one benchmark-history point (commit metadata from CI env vars).
+
+    ``complete`` is False when the bench session produced no medians (it
+    crashed or was interrupted), so the archived history shows the gap
+    instead of silently skipping the run.
+    """
     payload = {
         "format_version": BASELINE_FORMAT_VERSION,
         "commit": os.environ.get("GITHUB_SHA"),
         "run_id": os.environ.get("GITHUB_RUN_ID"),
         "ref": os.environ.get("GITHUB_REF"),
+        "complete": bool(medians),
         "medians": {name: medians[name] for name in sorted(medians)},
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -182,9 +197,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     current = load_run_medians(args.timings)
 
+    # The trajectory point is written before any gating, so every CI run
+    # leaves its BENCH_<run_id>.json in the archive -- including runs whose
+    # bench session failed and produced no (or partial) medians.
     if args.trajectory is not None:
         write_trajectory(args.trajectory, current)
         print(f"trajectory point written to {args.trajectory}")
+
+    if not current:
+        raise SystemExit(f"error: {args.timings} contains no benchmark records")
 
     if args.update:
         write_baseline(args.baseline, current)

@@ -1,0 +1,86 @@
+"""Telemetry overhead: instrumentation left in hot paths must be ~free.
+
+The tracer's design contract is that *disabled* tracing costs nothing
+measurable: ``span()`` returns a shared null singleton and the call sites
+gate their expensive attribute collection on ``span.active``.  This bench
+pins that contract with numbers: a warm-cache scenario run with tracing
+off is benchmarked, the same workload is traced once to count how many
+span/event call sites it actually crosses, and the measured per-call null
+cost times that count must stay under 5 % of the untraced runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import telemetry
+from repro.gis import RoofSpec
+from repro.runner import run_scenario
+from repro.scenario import ScenarioSpec, SolverSpec, TimeSpec
+from repro.telemetry import NULL_SPAN, read_trace, span
+
+
+def _bench_spec() -> ScenarioSpec:
+    """A seconds-scale scenario: big enough to cross every instrumented path."""
+    return ScenarioSpec(
+        name="telemetry-bench",
+        roof=RoofSpec(
+            name="telemetry-bench-roof",
+            width_m=8.0,
+            depth_m=5.0,
+            tilt_deg=30.0,
+            azimuth_deg=0.0,
+        ),
+        n_modules=4,
+        n_series=2,
+        grid_pitch=0.4,
+        time=TimeSpec(step_minutes=240.0, day_stride=45),
+        solver=SolverSpec(name="greedy"),
+    )
+
+
+def test_bench_null_span_overhead(benchmark, tmp_path):
+    """Disabled tracing: no files, and < 5 % overhead on a warm cached run."""
+    telemetry.configure(None)
+    assert not telemetry.tracing_enabled()
+
+    spec = _bench_spec()
+    cache_dir = tmp_path / "cache"
+    run_scenario(spec, cache=cache_dir)  # warm every cacheable stage
+
+    result = benchmark(lambda: run_scenario(spec, cache=cache_dir))
+    untraced_s = float(benchmark.stats.stats.median)
+    assert result.annual_energy_mwh > 0
+
+    # The whole untraced run must not have touched any trace artifact.
+    assert os.environ.get(telemetry.TRACE_ENV) is None
+    assert not list(tmp_path.glob("*.jsonl*"))
+
+    # Trace the identical warm workload once to count instrumentation sites.
+    trace_path = tmp_path / "count-trace.jsonl"
+    telemetry.configure(trace_path)
+    run_scenario(spec, cache=cache_dir)
+    telemetry.merge_active_trace()
+    telemetry.configure(None)
+    crossings = len(read_trace(trace_path))
+    assert crossings >= 10  # scenario + 6 stages + cache get/put at least
+
+    # Measure the per-call cost of a disabled span directly.
+    loops = 200_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        with span("bench", key=1) as sp:
+            sp.set(value=2)
+    per_call_s = (time.perf_counter() - start) / loops
+    assert span("bench") is NULL_SPAN
+
+    budget_s = 0.05 * untraced_s
+    projected_s = crossings * per_call_s
+    print(
+        f"\n[telemetry] warm untraced run {untraced_s * 1e3:.2f} ms, "
+        f"{crossings} instrumentation crossings x {per_call_s * 1e9:.0f} ns "
+        f"= {projected_s * 1e6:.1f} us projected overhead "
+        f"({100.0 * projected_s / untraced_s:.3f} % of the run; budget 5 %)"
+    )
+    assert projected_s < budget_s

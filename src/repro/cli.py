@@ -20,19 +20,29 @@ Subcommands
     default (``--store none`` opts out).
 ``campaign``
     Fault-tolerant, resumable fleet execution backed by the SQLite result
-    store: ``run`` enrolls + executes, ``status`` inspects, ``resume``
+    store: ``run`` enrolls + executes, ``status`` inspects (including the
+    per-stage latency table from the store's metrics rollups), ``resume``
     re-attempts the missing points from the store alone, ``export`` emits
     the standard JSONL results format.
 ``report``
     Generate a paper-artifact report preset (``table1``, ``catalog``) as
     deterministic Markdown or CSV.
+``trace``
+    Inspect recorded span traces: ``summary`` renders the aggregated
+    timing tree (self/cumulative time, slowest spans), ``export`` converts
+    to Chrome Trace Event JSON for ``chrome://tracing`` / Perfetto.
 
 All pipeline-running subcommands share the stage-cache flags:
 ``--cache-dir`` points the content-addressed store somewhere explicit
 (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), ``--no-cache``
 bypasses it.  Campaign state lives in ``--store`` (default:
-``$REPRO_STORE_PATH`` or ``<cache dir>/campaigns.sqlite``).  See
-``docs/cli.md`` and ``docs/campaigns.md`` for a full walkthrough.
+``$REPRO_STORE_PATH`` or ``<cache dir>/campaigns.sqlite``).  They also
+accept ``--trace PATH`` (or honour ``$REPRO_TRACE``) to record a JSONL
+span trace of the run; worker shards are merged into one file on exit.
+All output flows through a logging emitter honouring ``$REPRO_LOG_LEVEL``
+(default ``INFO`` keeps stdout byte-identical to the historical ``print``
+output; ``DEBUG`` adds trace/cache diagnostics on stderr).  See
+``docs/cli.md`` and ``docs/observability.md`` for a full walkthrough.
 """
 
 from __future__ import annotations
@@ -43,16 +53,22 @@ import sys
 from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
+from . import telemetry
 from .errors import ReproError
 from .runner.batch import run_batch
 from .runner.cache import StageCache, default_cache_dir
 from .runner.solvers import available_solvers
-from .runner.stages import run_scenario
-from .runner.store import ResultStore, default_store_path
+from .runner.stages import PIPELINE_STAGES, run_scenario
+from .runner.store import (
+    METRIC_KIND_STAGE_TIME,
+    ResultStore,
+    default_store_path,
+)
 from .scenario.catalog import builtin_scenarios
 from .scenario.spec import ScenarioSpec
 from .sweep import SweepAxis, SweepPlan, run_sweep
 from .sweep.report import available_presets, generate_report, sweep_report
+from .telemetry import emit_diagnostic, emit_err, emit_error, emit_out
 
 
 def _cache_from_args(args: argparse.Namespace) -> StageCache:
@@ -70,6 +86,18 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the stage cache (recompute everything)",
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a JSONL span trace of this run here "
+            "(default: $REPRO_TRACE when set)"
+        ),
     )
 
 
@@ -94,14 +122,21 @@ def _store_from_args(args: argparse.Namespace) -> "str | Path | None":
 
 
 def _print_campaign_summary(summary) -> None:
-    print(summary.report())
+    emit_out(summary.report())
     recomputes = summary.stage_recomputes
     note = (
         ", ".join(f"{stage}={count}" for stage, count in sorted(recomputes.items()))
         if recomputes
         else "none"
     )
-    print(f"stage recomputations (this run): {note}")
+    emit_out(f"stage recomputations (this run): {note}")
+    recompute_s = sum(summary.stage_recompute_time_s.values())
+    hit_s = sum(summary.stage_hit_time_s.values())
+    if recompute_s or hit_s:
+        emit_out(
+            f"stage wall time (this run): {recompute_s:.2f}s recomputing, "
+            f"{hit_s:.2f}s serving cache hits"
+        )
 
 
 def _load_scenario(name_or_path: str) -> ScenarioSpec:
@@ -137,13 +172,13 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
             }
             for spec in catalog.values()
         ]
-        print(json.dumps(records, indent=2))
+        emit_out(json.dumps(records, indent=2))
         return 0
     width = max(len(name) for name in catalog)
-    print(f"{len(catalog)} built-in scenarios (solvers: {', '.join(available_solvers())})")
+    emit_out(f"{len(catalog)} built-in scenarios (solvers: {', '.join(available_solvers())})")
     for spec in catalog.values():
         tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
-        print(
+        emit_out(
             f"  {spec.name:<{width}}  solver={spec.solver.name:<11} "
             f"N={spec.n_modules:<3} {spec.description}{tags}"
         )
@@ -156,13 +191,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_solver(args.solver)
     cache = _cache_from_args(args)
     result = run_scenario(spec, cache=cache)
-    print(result.report())
+    emit_out(result.report())
+    emit_diagnostic(
+        "stage wall times: "
+        + ", ".join(
+            f"{stage}={seconds:.3f}s"
+            for stage, seconds in sorted(result.stage_times_s.items())
+        )
+    )
     if args.output:
         Path(args.output).write_text(
             json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
-        print(f"result written to {args.output}")
+        emit_out(f"result written to {args.output}")
     return 0
 
 
@@ -190,7 +232,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         retries=args.retries,
     )
     for result in batch.results:
-        print(result.report())
+        emit_out(result.report())
     if batch.campaign is not None:
         _print_campaign_summary(batch.campaign)
     summary = batch.summary()
@@ -200,12 +242,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if hits
         else "none"
     )
-    print(
+    emit_out(
         f"batch: {batch.n_scenarios} scenarios with {batch.jobs} worker(s) "
         f"in {batch.runtime_s:.2f}s; cache hits: {hit_note}"
     )
     if batch.results_path is not None:
-        print(f"results store: {batch.results_path}")
+        emit_out(f"results store: {batch.results_path}")
     return 1 if batch.campaign is not None and batch.campaign.failed else 0
 
 
@@ -230,11 +272,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         retries=args.retries,
     )
     for result in batch.results:
-        print(result.report())
+        emit_out(result.report())
     _print_campaign_summary(batch.campaign)
-    print(f"store: {store}")
+    emit_out(f"store: {store}")
     if batch.results_path is not None:
-        print(f"results store: {batch.results_path}")
+        emit_out(f"results store: {batch.results_path}")
     return 1 if batch.campaign.failed else 0
 
 
@@ -263,6 +305,29 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     return 1 if batch.campaign.failed else 0
 
 
+def _print_stage_latencies(store: ResultStore, campaign: str) -> None:
+    """The per-stage latency table of the campaign's latest metrics run."""
+    rows = store.metrics(campaign)
+    stage_rows = {
+        row["name"]: row for row in rows if row["kind"] == METRIC_KIND_STAGE_TIME
+    }
+    if not stage_rows:
+        return
+    ordered = [stage for stage in PIPELINE_STAGES if stage in stage_rows]
+    ordered += [stage for stage in sorted(stage_rows) if stage not in PIPELINE_STAGES]
+    emit_out(f"stage latency (metrics run {rows[0]['run_id']}):")
+    emit_out(
+        f"  {'stage':<12} {'count':>6} {'p50 s':>9} {'p90 s':>9} "
+        f"{'p99 s':>9} {'total s':>9}"
+    )
+    for stage in ordered:
+        row = stage_rows[stage]
+        emit_out(
+            f"  {stage:<12} {row['count']:>6} {row['p50']:>9.3f} "
+            f"{row['p90']:>9.3f} {row['p99']:>9.3f} {row['total']:>9.3f}"
+        )
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     store_path = _store_from_args(args)
     if store_path is None:
@@ -271,15 +336,15 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         if not args.name:
             campaigns = store.campaigns()
             if args.json:
-                print(json.dumps(dict(campaigns), indent=2, sort_keys=True))
+                emit_out(json.dumps(dict(campaigns), indent=2, sort_keys=True))
                 return 0
             if not campaigns:
-                print(f"store {store.path} has no campaigns")
+                emit_out(f"store {store.path} has no campaigns")
                 return 0
-            print(f"{len(campaigns)} campaign(s) in {store.path}")
+            emit_out(f"{len(campaigns)} campaign(s) in {store.path}")
             for name, counts in campaigns:
                 total = sum(counts.values())
-                print(
+                emit_out(
                     f"  {name}: {counts['done']}/{total} done, "
                     f"{counts['failed']} failed, {counts['pending']} pending"
                 )
@@ -300,12 +365,12 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                 }
                 for record in records
             ]
-            print(json.dumps(payload, indent=2, sort_keys=True))
+            emit_out(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         counts = {status: 0 for status in ("pending", "running", "done", "failed")}
         for record in records:
             counts[record.status] += 1
-        print(
+        emit_out(
             f"campaign {args.name!r}: {counts['done']}/{len(records)} done, "
             f"{counts['failed']} failed, {counts['pending']} pending, "
             f"{counts['running']} running"
@@ -313,12 +378,13 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         width = max(len(record.name) for record in records)
         for record in records:
             wall = "" if record.wall_time_s is None else f" {record.wall_time_s:.2f}s"
-            print(
+            emit_out(
                 f"  {record.name:<{width}}  {record.status:<8} "
                 f"attempts={record.attempts}{wall}"
             )
             if record.status == "failed" and record.error:
-                print(f"    {record.error.splitlines()[0]}")
+                emit_out(f"    {record.error.splitlines()[0]}")
+        _print_stage_latencies(store, args.name)
     return 0
 
 
@@ -333,12 +399,11 @@ def _cmd_campaign_export(args: argparse.Namespace) -> int:
             raise ReproError(f"store has no campaign {args.name!r}; campaigns: {known}")
         written = store.export(args.name, args.results)
     remaining = sum(counts.values()) - counts["done"]
-    print(f"{written} result(s) exported to {args.results}")
+    emit_out(f"{written} result(s) exported to {args.results}")
     if remaining:
-        print(
+        emit_err(
             f"warning: {remaining} point(s) not done yet (resume the campaign "
-            "to complete them)",
-            file=sys.stderr,
+            "to complete them)"
         )
     return 0
 
@@ -354,13 +419,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         result = run_scenario(spec.with_solver(solver), cache=cache)
         rows.append(result)
     best = max(row.annual_energy_mwh for row in rows)
-    print(f"{spec.name}: N={spec.n_modules} ({len(rows)} solvers)")
-    print(f"  {'solver':<12} {'energy MWh/y':>13} {'vs best':>9} {'wiring m':>9} {'time s':>7}")
+    emit_out(f"{spec.name}: N={spec.n_modules} ({len(rows)} solvers)")
+    emit_out(f"  {'solver':<12} {'energy MWh/y':>13} {'vs best':>9} {'wiring m':>9} {'time s':>7}")
     for row in rows:
         delta = (
             0.0 if best <= 0 else 100.0 * (row.annual_energy_mwh - best) / best
         )
-        print(
+        emit_out(
             f"  {row.solver:<12} {row.annual_energy_mwh:>13.3f} {delta:>8.2f}% "
             f"{row.wiring_extra_length_m:>9.1f} {row.runtime_s:>7.2f}"
         )
@@ -422,7 +487,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     plan = _load_sweep_plan(args)
     if args.save_plan:
         plan.save(args.save_plan)
-        print(f"sweep plan written to {args.save_plan}")
+        emit_out(f"sweep plan written to {args.save_plan}")
     cache = _cache_from_args(args)
     sweep = run_sweep(
         plan,
@@ -435,7 +500,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
     )
     artifact = sweep_report(sweep)
-    print(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
+    emit_out(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
     summary = sweep.summary()
     recomputes = summary["cache_recomputes_by_stage"]
     note = (
@@ -443,21 +508,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if recomputes
         else "none"
     )
-    print(
+    emit_err(
         f"\nsweep {plan.name!r}: {sweep.n_points} points with {sweep.jobs} "
-        f"worker(s) in {sweep.runtime_s:.2f}s; stage recomputations: {note}",
-        file=sys.stderr,
+        f"worker(s) in {sweep.runtime_s:.2f}s; stage recomputations: {note}"
     )
     if sweep.campaign is not None:
-        print(
+        emit_err(
             f"campaign {sweep.campaign.campaign!r}: computed "
             f"{sweep.campaign.computed}, skipped {sweep.campaign.skipped}, "
-            f"retried {sweep.campaign.retried}",
-            file=sys.stderr,
+            f"retried {sweep.campaign.retried}"
         )
     if args.output:
         sweep.save(args.output)
-        print(f"sweep result written to {args.output}", file=sys.stderr)
+        emit_err(f"sweep result written to {args.output}")
     return 0
 
 
@@ -497,9 +560,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     text = artifact.text(args.format)
     if args.output:
         Path(args.output).write_text(text, encoding="utf-8")
-        print(f"{args.preset} report written to {args.output}")
+        emit_out(f"{args.preset} report written to {args.output}")
     else:
-        print(text, end="")
+        emit_out(text, end="")
+    return 0
+
+
+def _load_trace_events(path_text: str) -> List[dict]:
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"trace file {path_text!r} does not exist")
+    events = telemetry.read_trace(path)
+    if not events:
+        raise ReproError(f"trace file {path_text!r} contains no events")
+    return events
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    events = _load_trace_events(args.trace_file)
+    emit_out(telemetry.render_summary(events, slowest=args.slowest))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    events = _load_trace_events(args.trace_file)
+    payload = telemetry.chrome_trace(events)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        emit_out(
+            f"chrome trace with {len(payload['traceEvents'])} event(s) "
+            f"written to {args.output}"
+        )
+    else:
+        emit_out(text, end="")
     return 0
 
 
@@ -534,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--output", default=None, help="write the result JSON here")
     _add_cache_arguments(run_parser)
+    _add_trace_argument(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     batch_parser = subparsers.add_parser(
@@ -563,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(batch_parser)
     _add_cache_arguments(batch_parser)
+    _add_trace_argument(batch_parser)
     batch_parser.set_defaults(func=_cmd_batch)
 
     compare_parser = subparsers.add_parser(
@@ -623,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
+    _add_trace_argument(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     campaign_parser = subparsers.add_parser(
@@ -654,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(campaign_run)
     _add_cache_arguments(campaign_run)
+    _add_trace_argument(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -683,6 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(campaign_resume)
     _add_cache_arguments(campaign_resume)
+    _add_trace_argument(campaign_resume)
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
 
     campaign_export = campaign_sub.add_parser(
@@ -760,17 +859,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect and convert recorded JSONL span traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="aggregated timing tree of a merged trace"
+    )
+    trace_summary.add_argument("trace_file", help="merged trace JSONL path")
+    trace_summary.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        help="how many slowest individual spans to list (default: 5)",
+    )
+    trace_summary.set_defaults(func=_cmd_trace_summary)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace for external viewers"
+    )
+    trace_export.add_argument("trace_file", help="merged trace JSONL path")
+    trace_export.add_argument(
+        "--format",
+        default="chrome",
+        choices=("chrome",),
+        help="output format (Chrome Trace Event JSON for chrome://tracing)",
+    )
+    trace_export.add_argument(
+        "--output", default=None, help="write the converted trace here (default: stdout)"
+    )
+    trace_export.set_defaults(func=_cmd_trace_export)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    telemetry.configure_cli_logging()
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    explicit_trace = bool(getattr(args, "trace", None))
+    if explicit_trace:
+        telemetry.configure(args.trace)
+    else:
+        # Honour $REPRO_TRACE changes between in-process invocations.
+        telemetry.configure_from_env()
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        emit_error(f"error: {exc}")
         return 2
     except BrokenPipeError:
         # Downstream consumer (e.g. `repro list-scenarios | head`) closed
@@ -780,6 +918,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:
             pass
         return 141
+    finally:
+        merged = telemetry.merge_active_trace()
+        if merged is not None:
+            emit_diagnostic(f"trace merged into {merged}")
+        if explicit_trace:
+            # Keep in-process invocations hermetic: an explicit --trace
+            # applies to this command only, not to later main() calls.
+            telemetry.configure(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from math import comb
 import numpy as np
 
 from ..errors import InfeasiblePlacementError, PlacementError
+from ..telemetry import span
 from .constraints import feasible_anchor_mask
 from .evaluation import PlacementEvaluator
 from .placement import ModulePlacement, Placement
@@ -98,26 +99,30 @@ def exhaustive_floorplan(
         problem, include_wiring_loss=cfg.include_wiring_loss
     )
 
-    for combination in itertools.combinations(range(n_anchors), problem.n_modules):
-        selected = [anchors[i] for i in combination]
-        if _any_overlap(selected, footprint.cells_h, footprint.cells_w):
-            continue
-        modules = tuple(
-            ModulePlacement(module_index=i, row=r, col=c, rotated=False)
-            for i, (r, c) in enumerate(selected)
-        )
-        placement = Placement(
-            modules=modules,
-            footprint=footprint,
-            topology=problem.topology,
-            grid_pitch=problem.grid.pitch,
-            label="exhaustive-candidate",
-        )
-        evaluation = evaluator.evaluate(placement)
-        evaluated += 1
-        if evaluation.annual_energy_wh > best_energy:
-            best_energy = evaluation.annual_energy_wh
-            best_placement = placement
+    with span(
+        "exhaustive.search", n_anchors=n_anchors, n_combinations=n_combinations
+    ) as search_span:
+        for combination in itertools.combinations(range(n_anchors), problem.n_modules):
+            selected = [anchors[i] for i in combination]
+            if _any_overlap(selected, footprint.cells_h, footprint.cells_w):
+                continue
+            modules = tuple(
+                ModulePlacement(module_index=i, row=r, col=c, rotated=False)
+                for i, (r, c) in enumerate(selected)
+            )
+            placement = Placement(
+                modules=modules,
+                footprint=footprint,
+                topology=problem.topology,
+                grid_pitch=problem.grid.pitch,
+                label="exhaustive-candidate",
+            )
+            evaluation = evaluator.evaluate(placement)
+            evaluated += 1
+            if evaluation.annual_energy_wh > best_energy:
+                best_energy = evaluation.annual_energy_wh
+                best_placement = placement
+        search_span.set(candidates_evaluated=evaluated)
 
     if best_placement is None:
         raise PlacementError("no overlap-free combination of anchors exists")

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..errors import InfeasiblePlacementError
 from ..geometry import Point2D
+from ..telemetry import trace_event, tracing_enabled
 from .constraints import (
     DistanceThreshold,
     anchor_center,
@@ -212,8 +213,10 @@ def greedy_floorplan(
     placed: list[ModulePlacement] = []
     placed_centers: list[Point2D] = []
     relaxed = 0
+    traced = tracing_enabled()
 
     for module_index in range(problem.n_modules):
+        relaxed_before = relaxed
         best = _select_candidate(cfg, candidate_sets, placed_centers, threshold)
         if best is None:
             # No candidate satisfies the dispersion filter: relax it once.
@@ -230,6 +233,17 @@ def greedy_floorplan(
         placed_centers.append(anchor_center(row, col, fp, problem.grid.pitch))
         for candidate_set in candidate_sets:
             candidate_set.remove_overlapping(row, col, fp)
+        if traced:
+            # Per-placement accounting: how fast the candidate sets shrink
+            # and whether the dispersion threshold had to be relaxed.
+            trace_event(
+                "greedy.step",
+                module=module_index,
+                row=row,
+                col=col,
+                candidates_left=int(sum(cs.rows.size for cs in candidate_sets)),
+                relaxed=relaxed > relaxed_before,
+            )
 
     runtime = time.perf_counter() - start
     placement = Placement(

@@ -29,6 +29,7 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..errors import InfeasiblePlacementError, PlacementError
+from ..telemetry import span
 from .constraints import feasible_anchor_mask
 from .greedy import _footprint_score_map
 from .placement import ModulePlacement, Placement
@@ -86,62 +87,68 @@ def ilp_floorplan(
     if problem.allow_rotation and footprint.cells_w != footprint.cells_h:
         orientations.append((footprint.rotated(), True))
 
-    # Enumerate anchors: (row, col, rotated) with their scores.
-    anchors: list[tuple[int, int, bool]] = []
-    scores: list[float] = []
-    empty_occupancy = np.zeros(problem.grid.shape, dtype=bool)
-    for fp, rotated in orientations:
-        feasible = feasible_anchor_mask(problem.grid.valid_mask, empty_occupancy, fp)
-        score_map = _footprint_score_map(
-            suitability, fp.cells_h, fp.cells_w, cfg.footprint_aggregate
-        )
-        rows, cols = np.nonzero(feasible & np.isfinite(score_map))
-        for row, col in zip(rows.tolist(), cols.tolist()):
-            anchors.append((row, col, rotated))
-            scores.append(float(score_map[row, col]))
+    # Enumerate anchors and assemble the 0/1 program; the build/solve span
+    # split is what lets a trace tell formulation cost from HiGHS cost.
+    with span("ilp.build") as build_span:
+        anchors: list[tuple[int, int, bool]] = []
+        scores: list[float] = []
+        empty_occupancy = np.zeros(problem.grid.shape, dtype=bool)
+        for fp, rotated in orientations:
+            feasible = feasible_anchor_mask(problem.grid.valid_mask, empty_occupancy, fp)
+            score_map = _footprint_score_map(
+                suitability, fp.cells_h, fp.cells_w, cfg.footprint_aggregate
+            )
+            rows, cols = np.nonzero(feasible & np.isfinite(score_map))
+            for row, col in zip(rows.tolist(), cols.tolist()):
+                anchors.append((row, col, rotated))
+                scores.append(float(score_map[row, col]))
 
-    n_anchors = len(anchors)
-    if n_anchors < problem.n_modules:
-        raise InfeasiblePlacementError(
-            f"only {n_anchors} feasible anchors exist for {problem.n_modules} modules"
-        )
-    if n_anchors > cfg.max_anchors:
-        raise InfeasiblePlacementError(
-            f"the instance has {n_anchors} anchors, above the configured ILP limit "
-            f"of {cfg.max_anchors}; use the greedy placer or coarsen the grid"
-        )
+        n_anchors = len(anchors)
+        if n_anchors < problem.n_modules:
+            raise InfeasiblePlacementError(
+                f"only {n_anchors} feasible anchors exist for {problem.n_modules} modules"
+            )
+        if n_anchors > cfg.max_anchors:
+            raise InfeasiblePlacementError(
+                f"the instance has {n_anchors} anchors, above the configured ILP limit "
+                f"of {cfg.max_anchors}; use the greedy placer or coarsen the grid"
+            )
 
-    # Build the cell-coverage constraint matrix (cells x anchors).
-    n_rows, n_cols = problem.grid.shape
-    cell_index = lambda r, c: r * n_cols + c  # noqa: E731 - tiny local helper
-    row_indices: list[int] = []
-    col_indices: list[int] = []
-    for anchor_id, (row, col, rotated) in enumerate(anchors):
-        fp = footprint.rotated() if rotated else footprint
-        for dr in range(fp.cells_h):
-            for dc in range(fp.cells_w):
-                row_indices.append(cell_index(row + dr, col + dc))
-                col_indices.append(anchor_id)
-    coverage = sparse.csr_matrix(
-        (np.ones(len(row_indices)), (row_indices, col_indices)),
-        shape=(n_rows * n_cols, n_anchors),
-    )
-    # Keep only cells that can actually be covered (smaller constraint set).
-    covered_cells = np.asarray(coverage.sum(axis=1)).ravel() > 0
-    coverage = coverage[covered_cells]
+        # Build the cell-coverage constraint matrix (cells x anchors).
+        n_rows, n_cols = problem.grid.shape
+        cell_index = lambda r, c: r * n_cols + c  # noqa: E731 - tiny local helper
+        row_indices: list[int] = []
+        col_indices: list[int] = []
+        for anchor_id, (row, col, rotated) in enumerate(anchors):
+            fp = footprint.rotated() if rotated else footprint
+            for dr in range(fp.cells_h):
+                for dc in range(fp.cells_w):
+                    row_indices.append(cell_index(row + dr, col + dc))
+                    col_indices.append(anchor_id)
+        coverage = sparse.csr_matrix(
+            (np.ones(len(row_indices)), (row_indices, col_indices)),
+            shape=(n_rows * n_cols, n_anchors),
+        )
+        # Keep only cells that can actually be covered (smaller constraint set).
+        covered_cells = np.asarray(coverage.sum(axis=1)).ravel() > 0
+        coverage = coverage[covered_cells]
 
-    objective = -np.asarray(scores)
-    constraints = [
-        LinearConstraint(np.ones((1, n_anchors)), problem.n_modules, problem.n_modules),
-        LinearConstraint(coverage, -np.inf, 1.0),
-    ]
-    result = milp(
-        c=objective,
-        constraints=constraints,
-        integrality=np.ones(n_anchors),
-        bounds=Bounds(0, 1),
-        options={"time_limit": cfg.time_limit_s, "mip_rel_gap": cfg.mip_gap},
-    )
+        objective = -np.asarray(scores)
+        constraints = [
+            LinearConstraint(np.ones((1, n_anchors)), problem.n_modules, problem.n_modules),
+            LinearConstraint(coverage, -np.inf, 1.0),
+        ]
+        build_span.set(n_anchors=n_anchors, n_covered_cells=int(covered_cells.sum()))
+
+    with span("ilp.solve", n_anchors=n_anchors) as solve_span:
+        result = milp(
+            c=objective,
+            constraints=constraints,
+            integrality=np.ones(n_anchors),
+            bounds=Bounds(0, 1),
+            options={"time_limit": cfg.time_limit_s, "mip_rel_gap": cfg.mip_gap},
+        )
+        solve_span.set(status=str(result.message), success=bool(result.success))
     if result.x is None:
         raise InfeasiblePlacementError(
             f"the ILP solver failed to find a feasible placement: {result.message}"

@@ -45,15 +45,21 @@ import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError, ScenarioExecutionError
 from ..scenario.spec import ScenarioSpec
+from ..telemetry import MetricStats, configure_from_env, merge_active_trace, span
 from .cache import PathLike, StageCache, resolve_cache
 from .stages import ScenarioResult, run_scenario, scenario_content_digest
 from .store import (
+    METRIC_KIND_COUNTER,
+    METRIC_KIND_POINT_TIME,
+    METRIC_KIND_STAGE_HIT_TIME,
+    METRIC_KIND_STAGE_RECOMPUTE_TIME,
+    METRIC_KIND_STAGE_TIME,
     STATUS_DONE,
     CampaignSummary,
     ResultStore,
@@ -85,6 +91,24 @@ def count_stage_flags(
         for stage, hit in result.stage_cached.items():
             counts[stage] = counts.get(stage, 0) + (1 if hit == cached else 0)
     return counts
+
+
+def sum_stage_times(
+    results: Sequence[ScenarioResult], cached: bool
+) -> Dict[str, float]:
+    """Sum per-stage wall time across results, split by cache provenance.
+
+    The wall-clock counterpart of :func:`count_stage_flags`: ``cached=True``
+    totals the seconds spent *loading* cached stages, ``cached=False`` the
+    seconds spent recomputing them, keyed over the same stage set so the
+    time and count accounting can never drift apart.
+    """
+    totals: Dict[str, float] = {}
+    for result in results:
+        for stage, hit in result.stage_cached.items():
+            seconds = result.stage_times_s.get(stage, 0.0) if hit == cached else 0.0
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    return totals
 
 
 @dataclass
@@ -167,6 +191,11 @@ def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
     # The batch already parallelises across processes; keep the horizon
     # kernel single-threaded inside each worker to avoid oversubscription.
     os.environ.setdefault("REPRO_HORIZON_WORKERS", "1")
+    # Tracing propagates through $REPRO_TRACE (set by telemetry.configure in
+    # the parent): forked workers already hold a re-keyed tracer via the
+    # at-fork hook, spawned workers pick the path up here.  Each worker
+    # writes its own shard; the parent merges at drain time.
+    configure_from_env()
     spec_dict, cache_dir, use_cache, mmap_arrays = args
     try:
         spec = ScenarioSpec.from_dict(spec_dict)
@@ -384,24 +413,32 @@ def run_batch(
     result_store = resolve_store(store)
     owns_store = result_store is not None and not isinstance(store, ResultStore)
     try:
-        start = time.perf_counter()
-        if result_store is None:
-            results = _run_in_memory(specs, stage_cache, use_cache, jobs)
-            summary: Optional[CampaignSummary] = None
-        else:
-            results, summary = _run_campaign(
-                specs,
-                stage_cache,
-                use_cache,
-                jobs,
-                result_store,
-                campaign if campaign else DEFAULT_CAMPAIGN,
-                retries,
-            )
-        runtime = time.perf_counter() - start
+        batch_attrs = {"n_scenarios": len(specs), "jobs": jobs}
+        if result_store is not None:
+            batch_attrs["campaign"] = campaign if campaign else DEFAULT_CAMPAIGN
+        with span("batch", **batch_attrs):
+            start = time.perf_counter()
+            if result_store is None:
+                results = _run_in_memory(specs, stage_cache, use_cache, jobs)
+                summary: Optional[CampaignSummary] = None
+            else:
+                results, summary = _run_campaign(
+                    specs,
+                    stage_cache,
+                    use_cache,
+                    jobs,
+                    result_store,
+                    campaign if campaign else DEFAULT_CAMPAIGN,
+                    retries,
+                )
+            runtime = time.perf_counter() - start
     finally:
         if owns_store:
             result_store.close()
+        # Fold worker trace shards into the single merged trace; a no-op
+        # while tracing is disabled.  The pool has drained by now (the
+        # drivers shut their executors down), so every shard is complete.
+        merge_active_trace()
 
     path: Optional[Path] = None
     if results_path is not None:
@@ -537,6 +574,14 @@ def _run_campaign(
     computed_results = [computed[i] for i in sorted(computed)]
     summary.stage_hits = count_stage_flags(computed_results, cached=True)
     summary.stage_recomputes = count_stage_flags(computed_results, cached=False)
+    summary.stage_hit_time_s = {
+        stage: round(seconds, 6)
+        for stage, seconds in sum_stage_times(computed_results, cached=True).items()
+    }
+    summary.stage_recompute_time_s = {
+        stage: round(seconds, 6)
+        for stage, seconds in sum_stage_times(computed_results, cached=False).items()
+    }
 
     # Assemble results in input order -- freshly computed points from this
     # run, previously-done points reloaded from the store -- and count
@@ -554,7 +599,61 @@ def _run_campaign(
             results.append(record.result())
         else:
             summary.failed += 1
+
+    # Persist this run's latency rollups so `repro campaign status` can
+    # render a per-stage p50/p90/p99 table long after the run finished.
+    # Pure no-op resumes (computed == 0) record nothing: there are no new
+    # samples, and the previous run's rows stay the latest.
+    if computed_results:
+        store.record_metrics(campaign, _campaign_metric_rows(computed_results, summary))
     return results, summary
+
+
+def _campaign_metric_rows(
+    computed_results: Sequence[ScenarioResult], summary: CampaignSummary
+) -> List[Tuple[str, MetricStats]]:
+    """Roll one campaign run's computed points up into metric-table rows."""
+    rows: List[Tuple[str, MetricStats]] = []
+
+    stage_samples: Dict[str, List[float]] = {}
+    hit_samples: Dict[str, List[float]] = {}
+    recompute_samples: Dict[str, List[float]] = {}
+    for result in computed_results:
+        for stage, seconds in result.stage_times_s.items():
+            stage_samples.setdefault(stage, []).append(seconds)
+        for stage, hit in result.stage_cached.items():
+            seconds = result.stage_times_s.get(stage)
+            if seconds is None:
+                continue
+            bucket = hit_samples if hit else recompute_samples
+            bucket.setdefault(stage, []).append(seconds)
+
+    for kind, samples_by_stage in (
+        (METRIC_KIND_STAGE_TIME, stage_samples),
+        (METRIC_KIND_STAGE_HIT_TIME, hit_samples),
+        (METRIC_KIND_STAGE_RECOMPUTE_TIME, recompute_samples),
+    ):
+        for stage in sorted(samples_by_stage):
+            rows.append((kind, MetricStats.from_samples(stage, samples_by_stage[stage])))
+
+    rows.append(
+        (
+            METRIC_KIND_POINT_TIME,
+            MetricStats.from_samples(
+                "point", [result.runtime_s for result in computed_results]
+            ),
+        )
+    )
+    for counter, value in (
+        ("computed", summary.computed),
+        ("skipped", summary.skipped),
+        ("failed", summary.failed),
+        ("retried", summary.retried),
+        ("cache_stage_hits", sum(summary.stage_hits.values())),
+        ("cache_stage_recomputes", sum(summary.stage_recomputes.values())),
+    ):
+        rows.append((METRIC_KIND_COUNTER, MetricStats.from_count(counter, value)))
+    return rows
 
 
 def write_results_jsonl(results: Sequence[ScenarioResult], path: PathLike) -> None:

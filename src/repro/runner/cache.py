@@ -39,6 +39,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
@@ -46,6 +47,7 @@ from typing import Any, Callable, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry import span
 
 PathLike = Union[str, Path]
 
@@ -179,6 +181,21 @@ class StageCache:
         """On-disk location of one array sidecar of the entry at ``path``."""
         return path.with_name(f"{path.stem}.{name}.npy")
 
+    @classmethod
+    def _entry_bytes(cls, path: Path, sidecar_fields: Tuple[str, ...]) -> int:
+        """On-disk size of an entry (pickle + sidecars), for trace attrs.
+
+        Only called while a tracer is recording -- the ``stat`` calls are
+        not part of the untraced hot path.
+        """
+        total = 0
+        for candidate in (path, *(cls._sidecar_path(path, name) for name in sidecar_fields)):
+            try:
+                total += candidate.stat().st_size
+            except OSError:
+                pass
+        return total
+
     # -- lookup / store -----------------------------------------------------------
 
     def get(self, stage: str, payload: Any) -> Tuple[Any, bool]:
@@ -187,28 +204,44 @@ class StageCache:
             self.stats.misses += 1
             return None, False
         path = self.path_for(stage, payload)
-        try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-            if isinstance(value, _SidecarStub):
-                stub = value.value
-                mmap_mode = "r" if self.mmap_arrays else None
-                for name in value.fields:
-                    array = np.load(self._sidecar_path(path, name), mmap_mode=mmap_mode)
-                    object.__setattr__(stub, name, array)
-                value = stub
-        except (
-            OSError,
-            pickle.PickleError,
-            EOFError,
-            AttributeError,
-            ImportError,
-            ValueError,
-        ):
-            self.stats.misses += 1
-            return None, False
-        self.stats.hits += 1
-        return value, True
+        with span("cache.get", stage=stage) as cache_span:
+            sidecar_fields: Tuple[str, ...] = ()
+            sidecar_s = 0.0
+            started = time.perf_counter()
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+                if isinstance(value, _SidecarStub):
+                    stub = value.value
+                    sidecar_fields = value.fields
+                    mmap_mode = "r" if self.mmap_arrays else None
+                    sidecar_started = time.perf_counter()
+                    for name in value.fields:
+                        array = np.load(self._sidecar_path(path, name), mmap_mode=mmap_mode)
+                        object.__setattr__(stub, name, array)
+                    sidecar_s = time.perf_counter() - sidecar_started
+                    value = stub
+            except (
+                OSError,
+                pickle.PickleError,
+                EOFError,
+                AttributeError,
+                ImportError,
+                ValueError,
+            ):
+                self.stats.misses += 1
+                cache_span.set(hit=False)
+                return None, False
+            self.stats.hits += 1
+            if cache_span.active:
+                total_s = time.perf_counter() - started
+                cache_span.set(
+                    hit=True,
+                    bytes=self._entry_bytes(path, sidecar_fields),
+                    pickle_s=round(total_s - sidecar_s, 9),
+                    sidecar_s=round(sidecar_s, 9),
+                )
+            return value, True
 
     def put(self, stage: str, payload: Any, value: Any) -> None:
         """Store a stage result atomically (no-op when disabled).
@@ -222,22 +255,34 @@ class StageCache:
         path = self.path_for(stage, payload)
         path.parent.mkdir(parents=True, exist_ok=True)
 
-        stored = value
-        sidecar_fields = tuple(getattr(type(value), "__cache_array_fields__", ()) or ())
-        if sidecar_fields:
-            stored = copy.copy(value)
-            for name in sidecar_fields:
-                array = np.asarray(getattr(value, name))
-                self._write_atomic(
-                    self._sidecar_path(path, name), lambda h, a=array: np.save(h, a)
-                )
-                object.__setattr__(stored, name, None)
-            stored = _SidecarStub(value=stored, fields=sidecar_fields)
+        with span("cache.put", stage=stage) as cache_span:
+            stored = value
+            sidecar_fields = tuple(getattr(type(value), "__cache_array_fields__", ()) or ())
+            sidecar_s = 0.0
+            started = time.perf_counter()
+            if sidecar_fields:
+                stored = copy.copy(value)
+                sidecar_started = time.perf_counter()
+                for name in sidecar_fields:
+                    array = np.asarray(getattr(value, name))
+                    self._write_atomic(
+                        self._sidecar_path(path, name), lambda h, a=array: np.save(h, a)
+                    )
+                    object.__setattr__(stored, name, None)
+                sidecar_s = time.perf_counter() - sidecar_started
+                stored = _SidecarStub(value=stored, fields=sidecar_fields)
 
-        self._write_atomic(
-            path, lambda h: pickle.dump(stored, h, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        self.stats.writes += 1
+            self._write_atomic(
+                path, lambda h: pickle.dump(stored, h, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self.stats.writes += 1
+            if cache_span.active:
+                total_s = time.perf_counter() - started
+                cache_span.set(
+                    bytes=self._entry_bytes(path, sidecar_fields),
+                    pickle_s=round(total_s - sidecar_s, 9),
+                    sidecar_s=round(sidecar_s, 9),
+                )
 
     @staticmethod
     def _write_atomic(path: Path, write: Callable[[Any], None]) -> None:

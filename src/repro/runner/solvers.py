@@ -21,6 +21,7 @@ from ..core.problem import FloorplanProblem
 from ..core.suitability import SuitabilityMap
 from ..core.traditional import TraditionalConfig, traditional_floorplan
 from ..errors import ConfigurationError
+from ..telemetry import span
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,19 @@ def solve(
     suitability: Optional[SuitabilityMap] = None,
 ) -> SolverOutcome:
     """Run the named solver on a problem instance."""
-    return get_solver(solver)(problem, dict(options or {}), suitability)
+    solver_fn = get_solver(solver)
+    with span(f"solver.{solver.lower()}", n_modules=problem.n_modules) as solver_span:
+        outcome = solver_fn(problem, dict(options or {}), suitability)
+        if solver_span.active:
+            solver_span.set(
+                runtime_s=round(outcome.runtime_s, 6),
+                **{
+                    key: value
+                    for key, value in outcome.info.items()
+                    if isinstance(value, (bool, int, float, str))
+                },
+            )
+        return outcome
 
 
 def _build_config(config_cls, options: Mapping[str, Any], solver: str):

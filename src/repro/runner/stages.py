@@ -18,11 +18,12 @@ evaluation work.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from ..scenario.spec import (
 from ..solar.irradiance_map import RoofSolarField, SolarSimulationConfig, compute_roof_solar_field
 from ..solar.shading import HorizonMap, compute_horizon_map
 from ..solar.time_series import TimeGrid
+from ..telemetry import span
 from ..weather.records import WeatherSeries
 from .cache import CACHE_FORMAT_VERSION, StageCache, content_digest, resolve_cache
 from .solvers import SolverOutcome, solve
@@ -54,6 +56,37 @@ STAGE_GRID = "grid"
 STAGE_SOLAR = "solar"
 STAGE_SUITABILITY = "suitability"
 STAGE_HORIZON = "horizon"
+STAGE_SOLVE = "solve"
+STAGE_EVALUATE = "evaluate"
+
+#: The six pipeline stages of one scenario run, in execution order.  The
+#: first four are the cacheable data-extraction stages (the keys of
+#: ``stage_cached``); all six key the per-stage wall times recorded in
+#: :attr:`ScenarioResult.stage_times_s` and the campaign metrics table.
+PIPELINE_STAGES = (
+    STAGE_SCENE,
+    STAGE_GRID,
+    STAGE_SOLAR,
+    STAGE_SUITABILITY,
+    STAGE_SOLVE,
+    STAGE_EVALUATE,
+)
+
+
+@contextlib.contextmanager
+def _timed_stage(name: str, stage_times: Dict[str, float], **attrs: Any) -> Iterator[Any]:
+    """Span + wall-time accounting around one pipeline stage.
+
+    The wall time is *always* measured (two ``perf_counter`` calls -- the
+    campaign metrics table needs per-stage seconds even when tracing is
+    off); the span is the usual no-op unless a tracer is active.
+    """
+    with span(name, **attrs) as stage_span:
+        started = time.perf_counter()
+        try:
+            yield stage_span
+        finally:
+            stage_times[name] = stage_times.get(name, 0.0) + (time.perf_counter() - started)
 
 
 # ---------------------------------------------------------------------------
@@ -314,6 +347,9 @@ class ScenarioResult:
     capacity_factor: float
     runtime_s: float
     stage_cached: Dict[str, bool] = field(default_factory=dict)
+    #: Wall-clock seconds per pipeline stage (keys of :data:`PIPELINE_STAGES`).
+    #: Like ``runtime_s`` this is provenance, not part of the fingerprint.
+    stage_times_s: Dict[str, float] = field(default_factory=dict)
     solver_info: Dict[str, Any] = field(default_factory=dict)
     placement: Dict[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
@@ -334,6 +370,7 @@ class ScenarioResult:
             "capacity_factor": self.capacity_factor,
             "runtime_s": self.runtime_s,
             "stage_cached": dict(self.stage_cached),
+            "stage_times_s": dict(self.stage_times_s),
             "solver_info": dict(self.solver_info),
             "placement": dict(self.placement),
             "tags": list(self.tags),
@@ -355,6 +392,10 @@ class ScenarioResult:
             capacity_factor=float(data["capacity_factor"]),
             runtime_s=float(data["runtime_s"]),
             stage_cached=dict(data.get("stage_cached", {})),
+            stage_times_s={
+                str(name): float(seconds)
+                for name, seconds in dict(data.get("stage_times_s", {})).items()
+            },
             solver_info=dict(data.get("solver_info", {})),
             placement=dict(data.get("placement", {})),
             tags=tuple(data.get("tags", [])),
@@ -413,51 +454,74 @@ def run_scenario(
     start = time.perf_counter()
     stage_cache = resolve_cache(cache, enabled=use_cache)
     stage_cached: Dict[str, bool] = {}
+    stage_times: Dict[str, float] = {}
 
-    scene, stage_cached[STAGE_SCENE] = cached_scene(spec.roof, spec.dsm_pitch, stage_cache)
-    grid, stage_cached[STAGE_GRID] = cached_suitable_grid(
-        spec.roof, scene, spec.dsm_pitch, spec.grid_pitch, stage_cache
-    )
-
-    time_grid = spec.time.build()
-    weather = spec.weather.build(time_grid)
-    solar_cfg = spec.solar.build()
-
-    solar_payload = spec.solar_payload()
-    solar, stage_cached[STAGE_SOLAR] = stage_cache.get_or_compute(
-        STAGE_SOLAR,
-        solar_payload,
-        lambda: compute_roof_solar_field(scene, grid, weather, solar_cfg),
-    )
-
-    topology = default_topology(spec.n_modules, spec.series_length())
-    problem = FloorplanProblem(
-        grid=solar.grid,
-        solar=solar,
+    with span(
+        "scenario",
+        scenario=spec.name,
+        solver=spec.solver.name,
         n_modules=spec.n_modules,
-        topology=topology,
-        datasheet=spec.datasheet(),
-        allow_rotation=spec.allow_rotation,
-        label=spec.name,
-    )
+    ) as scenario_span:
+        with _timed_stage(STAGE_SCENE, stage_times) as stage_span:
+            scene, stage_cached[STAGE_SCENE] = cached_scene(
+                spec.roof, spec.dsm_pitch, stage_cache
+            )
+            stage_span.set(cached=stage_cached[STAGE_SCENE])
+        with _timed_stage(STAGE_GRID, stage_times) as stage_span:
+            grid, stage_cached[STAGE_GRID] = cached_suitable_grid(
+                spec.roof, scene, spec.dsm_pitch, spec.grid_pitch, stage_cache
+            )
+            stage_span.set(cached=stage_cached[STAGE_GRID])
 
-    suitability, stage_cached[STAGE_SUITABILITY] = cached_suitability(
-        problem, solar_payload, stage_cache
-    )
+        with _timed_stage(STAGE_SOLAR, stage_times) as stage_span:
+            time_grid = spec.time.build()
+            weather = spec.weather.build(time_grid)
+            solar_cfg = spec.solar.build()
+            solar_payload = spec.solar_payload()
+            solar, stage_cached[STAGE_SOLAR] = stage_cache.get_or_compute(
+                STAGE_SOLAR,
+                solar_payload,
+                lambda: compute_roof_solar_field(scene, grid, weather, solar_cfg),
+            )
+            stage_span.set(cached=stage_cached[STAGE_SOLAR])
 
-    outcome = solve(problem, spec.solver.name, spec.solver.options, suitability)
-    if spec.solver.name == "traditional" and not spec.solver.options:
-        baseline: SolverOutcome = outcome
-    else:
-        baseline = solve(problem, "traditional", {}, suitability)
-    # One evaluation context scores both the proposed and the baseline
-    # placement, sharing the per-problem precomputation.
-    evaluator = PlacementEvaluator(problem)
-    comparison: PlacementComparison = evaluator.compare(
-        baseline.placement, outcome.placement
-    )
+        topology = default_topology(spec.n_modules, spec.series_length())
+        problem = FloorplanProblem(
+            grid=solar.grid,
+            solar=solar,
+            n_modules=spec.n_modules,
+            topology=topology,
+            datasheet=spec.datasheet(),
+            allow_rotation=spec.allow_rotation,
+            label=spec.name,
+        )
 
-    runtime = time.perf_counter() - start
+        with _timed_stage(STAGE_SUITABILITY, stage_times) as stage_span:
+            suitability, stage_cached[STAGE_SUITABILITY] = cached_suitability(
+                problem, solar_payload, stage_cache
+            )
+            stage_span.set(cached=stage_cached[STAGE_SUITABILITY])
+
+        with _timed_stage(STAGE_SOLVE, stage_times):
+            outcome = solve(problem, spec.solver.name, spec.solver.options, suitability)
+            if spec.solver.name == "traditional" and not spec.solver.options:
+                baseline: SolverOutcome = outcome
+            else:
+                baseline = solve(problem, "traditional", {}, suitability)
+
+        with _timed_stage(STAGE_EVALUATE, stage_times):
+            # One evaluation context scores both the proposed and the baseline
+            # placement, sharing the per-problem precomputation.
+            evaluator = PlacementEvaluator(problem)
+            comparison: PlacementComparison = evaluator.compare(
+                baseline.placement, outcome.placement
+            )
+
+        runtime = time.perf_counter() - start
+        scenario_span.set(
+            runtime_s=round(runtime, 6),
+            cached_stages=sum(1 for hit in stage_cached.values() if hit),
+        )
     return ScenarioResult(
         scenario=spec.name,
         solver=spec.solver.name,
@@ -472,6 +536,7 @@ def run_scenario(
         capacity_factor=comparison.candidate.capacity_factor,
         runtime_s=runtime,
         stage_cached=stage_cached,
+        stage_times_s={name: round(seconds, 9) for name, seconds in stage_times.items()},
         solver_info=dict(outcome.info),
         placement=placement_to_dict(outcome.placement),
         tags=spec.tags,

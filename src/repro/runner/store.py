@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..scenario.spec import ScenarioSpec
+from ..telemetry import MetricStats, span
 from .cache import PathLike, default_cache_dir
 from .stages import ScenarioResult, scenario_content_digest
 
@@ -78,7 +79,34 @@ CREATE TABLE IF NOT EXISTS points (
     PRIMARY KEY (campaign, digest)
 );
 CREATE INDEX IF NOT EXISTS idx_points_status ON points (campaign, status);
+CREATE TABLE IF NOT EXISTS metrics (
+    campaign TEXT NOT NULL,
+    run_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    count INTEGER NOT NULL,
+    total REAL NOT NULL,
+    minimum REAL NOT NULL,
+    maximum REAL NOT NULL,
+    p50 REAL NOT NULL,
+    p90 REAL NOT NULL,
+    p99 REAL NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (campaign, run_id, kind, name)
+);
 """
+
+#: Metric row kinds persisted by the campaign runner.  ``stage_time`` rows
+#: hold per-stage wall-time distributions over the run's computed points;
+#: ``stage_hit_time`` / ``stage_recompute_time`` split the cacheable stages
+#: by cache outcome (so cache savings are visible in seconds, not counts);
+#: ``point_time`` is the whole-point distribution and ``counter`` plain
+#: counts (computed/skipped/failed/retried, cache hit totals, ...).
+METRIC_KIND_STAGE_TIME = "stage_time"
+METRIC_KIND_STAGE_HIT_TIME = "stage_hit_time"
+METRIC_KIND_STAGE_RECOMPUTE_TIME = "stage_recompute_time"
+METRIC_KIND_POINT_TIME = "point_time"
+METRIC_KIND_COUNTER = "counter"
 
 
 def default_store_path() -> Path:
@@ -129,7 +157,9 @@ class CampaignSummary:
     failed after retries, and ``retried`` the number of retry attempts this
     invocation performed.  ``stage_hits`` / ``stage_recomputes`` aggregate
     the stage-cache provenance of the computed points only, so a resume
-    proves it recomputed exactly the missing work.
+    proves it recomputed exactly the missing work; ``stage_hit_time_s`` /
+    ``stage_recompute_time_s`` carry the same split in wall-clock seconds,
+    so cache savings are reported as time, not just counts.
     """
 
     campaign: str
@@ -141,6 +171,8 @@ class CampaignSummary:
     retried: int = 0
     stage_hits: Dict[str, int] = field(default_factory=dict)
     stage_recomputes: Dict[str, int] = field(default_factory=dict)
+    stage_hit_time_s: Dict[str, float] = field(default_factory=dict)
+    stage_recompute_time_s: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -153,6 +185,8 @@ class CampaignSummary:
             "retried": self.retried,
             "stage_hits": dict(self.stage_hits),
             "stage_recomputes": dict(self.stage_recomputes),
+            "stage_hit_time_s": dict(self.stage_hit_time_s),
+            "stage_recompute_time_s": dict(self.stage_recompute_time_s),
         }
 
     @classmethod
@@ -169,6 +203,13 @@ class CampaignSummary:
                 stage_hits={str(k): int(v) for k, v in data.get("stage_hits", {}).items()},
                 stage_recomputes={
                     str(k): int(v) for k, v in data.get("stage_recomputes", {}).items()
+                },
+                stage_hit_time_s={
+                    str(k): float(v) for k, v in data.get("stage_hit_time_s", {}).items()
+                },
+                stage_recompute_time_s={
+                    str(k): float(v)
+                    for k, v in data.get("stage_recompute_time_s", {}).items()
                 },
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -269,32 +310,33 @@ class ResultStore:
                 "(identical specs enrolled twice)"
             )
         now = time.time()
-        with self._conn:
-            row = self._conn.execute(
-                "SELECT COALESCE(MAX(position), -1) AS top FROM points WHERE campaign=?",
-                (campaign,),
-            ).fetchone()
-            next_position = int(row["top"]) + 1
-            for spec, digest in zip(specs, digests):
-                cursor = self._conn.execute(
-                    """
-                    INSERT OR IGNORE INTO points
-                        (campaign, digest, name, position, status, attempts,
-                         spec, created_at, updated_at)
-                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
-                    """,
-                    (
-                        campaign,
-                        digest,
-                        spec.name,
-                        next_position,
-                        json.dumps(spec.to_dict(), sort_keys=True),
-                        now,
-                        now,
-                    ),
-                )
-                if cursor.rowcount:
-                    next_position += 1
+        with span("store.enroll", campaign=campaign, n_specs=len(specs)):
+            with self._conn:
+                row = self._conn.execute(
+                    "SELECT COALESCE(MAX(position), -1) AS top FROM points WHERE campaign=?",
+                    (campaign,),
+                ).fetchone()
+                next_position = int(row["top"]) + 1
+                for spec, digest in zip(specs, digests):
+                    cursor = self._conn.execute(
+                        """
+                        INSERT OR IGNORE INTO points
+                            (campaign, digest, name, position, status, attempts,
+                             spec, created_at, updated_at)
+                        VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
+                        """,
+                        (
+                            campaign,
+                            digest,
+                            spec.name,
+                            next_position,
+                            json.dumps(spec.to_dict(), sort_keys=True),
+                            now,
+                            now,
+                        ),
+                    )
+                    if cursor.rowcount:
+                        next_position += 1
         return [self.point(campaign, digest) for digest in digests]
 
     # -- state transitions --------------------------------------------------------
@@ -337,18 +379,20 @@ class ResultStore:
     ) -> None:
         """Record a completed point with its full result payload."""
         record = result.to_dict() if isinstance(result, ScenarioResult) else dict(result)
-        self._touch(
-            campaign,
-            digest,
-            status=STATUS_DONE,
-            result=json.dumps(record, sort_keys=True),
-            wall_time_s=wall_time_s,
-            error=None,
-        )
+        with span("store.mark_done", campaign=campaign):
+            self._touch(
+                campaign,
+                digest,
+                status=STATUS_DONE,
+                result=json.dumps(record, sort_keys=True),
+                wall_time_s=wall_time_s,
+                error=None,
+            )
 
     def mark_failed(self, campaign: str, digest: str, error: str) -> None:
         """Record a failed attempt with the wrapped worker error text."""
-        self._touch(campaign, digest, status=STATUS_FAILED, error=str(error))
+        with span("store.mark_failed", campaign=campaign):
+            self._touch(campaign, digest, status=STATUS_FAILED, error=str(error))
 
     def reset_running(self, campaign: str) -> int:
         """Fail rows stuck in ``running`` (a previous driver died mid-run).
@@ -443,6 +487,73 @@ class ResultStore:
     def results(self, campaign: str) -> List[ScenarioResult]:
         """The ``done`` results of a campaign, in enrollment order."""
         return [record.result() for record in self.points(campaign, STATUS_DONE)]
+
+    # -- metrics ------------------------------------------------------------------
+
+    def record_metrics(
+        self,
+        campaign: str,
+        rows: Sequence[Tuple[str, MetricStats]],
+        run_id: Optional[int] = None,
+    ) -> int:
+        """Persist one run's metric rollups as ``(kind, stats)`` rows.
+
+        Each invocation of the campaign runner records under the campaign's
+        next ``run_id`` (or an explicit one), so the latency history of a
+        long-lived campaign stays queryable run by run.  Returns the run id
+        used.
+        """
+        if run_id is None:
+            latest = self.latest_metrics_run(campaign)
+            run_id = 1 if latest is None else latest + 1
+        now = time.time()
+        with span("store.record_metrics", campaign=campaign, n_rows=len(rows)):
+            with self._conn:
+                for kind, stats in rows:
+                    self._conn.execute(
+                        """
+                        INSERT OR REPLACE INTO metrics
+                            (campaign, run_id, kind, name, count, total,
+                             minimum, maximum, p50, p90, p99, created_at)
+                        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        """,
+                        (
+                            campaign,
+                            run_id,
+                            kind,
+                            stats.name,
+                            stats.count,
+                            stats.total,
+                            stats.minimum,
+                            stats.maximum,
+                            stats.p50,
+                            stats.p90,
+                            stats.p99,
+                            now,
+                        ),
+                    )
+        return run_id
+
+    def latest_metrics_run(self, campaign: str) -> Optional[int]:
+        """The most recent metrics ``run_id`` of a campaign (None if none)."""
+        row = self._conn.execute(
+            "SELECT MAX(run_id) AS top FROM metrics WHERE campaign=?", (campaign,)
+        ).fetchone()
+        return None if row is None or row["top"] is None else int(row["top"])
+
+    def metrics(
+        self, campaign: str, run_id: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """One run's metric rows (latest run by default) as plain dicts."""
+        if run_id is None:
+            run_id = self.latest_metrics_run(campaign)
+            if run_id is None:
+                return []
+        rows = self._conn.execute(
+            "SELECT * FROM metrics WHERE campaign=? AND run_id=? ORDER BY kind, name",
+            (campaign, run_id),
+        ).fetchall()
+        return [dict(row) for row in rows]
 
     # -- export -------------------------------------------------------------------
 

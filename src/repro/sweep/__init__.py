@@ -38,6 +38,7 @@ from ..errors import ScenarioExecutionError
 from ..runner.batch import run_batch
 from ..runner.cache import PathLike, StageCache
 from ..runner.store import ResultStore
+from ..telemetry import span
 from .aggregate import (
     DEFAULT_METRICS,
     PivotTable,
@@ -117,17 +118,18 @@ def run_sweep(
         raise on the first failing point, like :func:`repro.runner.run_batch`.
     """
     points = plan.points()
-    batch = run_batch(
-        [point.spec for point in points],
-        cache=cache,
-        jobs=jobs,
-        results_path=results_path,
-        use_cache=use_cache,
-        parallel=parallel,
-        store=store,
-        campaign=campaign if campaign else plan.campaign_name,
-        retries=retries,
-    )
+    with span("sweep", plan=plan.name, n_points=len(points)):
+        batch = run_batch(
+            [point.spec for point in points],
+            cache=cache,
+            jobs=jobs,
+            results_path=results_path,
+            use_cache=use_cache,
+            parallel=parallel,
+            store=store,
+            campaign=campaign if campaign else plan.campaign_name,
+            retries=retries,
+        )
     if batch.campaign is not None and batch.campaign.failed:
         failed = [
             point.name

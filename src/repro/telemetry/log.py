@@ -1,0 +1,98 @@
+"""The CLI's logging-based output emitter.
+
+``repro``'s user-facing output historically went through bare ``print``
+calls; this module routes it through :mod:`logging` instead, with three
+invariants:
+
+* **Byte-identical default output.**  At the default level (``INFO``)
+  every emitted line is exactly what ``print`` produced -- no level
+  prefixes, no logger names, same stream, same line endings -- so scripts
+  (and the test suite) that parse stdout keep working unchanged.
+* **`REPRO_LOG_LEVEL` controls verbosity.**  ``DEBUG`` surfaces trace and
+  cache diagnostics on stderr; ``WARNING``/``ERROR`` silence progress
+  output while keeping errors.
+* **Streams are resolved at emit time.**  Handlers look ``sys.stdout`` /
+  ``sys.stderr`` up on every record instead of capturing them at import,
+  so pytest's ``capsys`` and any other stream redirection see the output, and
+  a ``BrokenPipeError`` from a closed pipe propagates to the caller (the
+  CLI turns it into exit code 141) rather than being swallowed by
+  logging's error handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any, Optional
+
+#: Environment variable selecting the CLI log level (default ``INFO``).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: All CLI output flows through this logger.
+CLI_LOGGER_NAME = "repro.cli"
+
+
+class _DynamicStreamHandler(logging.Handler):
+    """Writes records to ``sys.<stream>`` as chosen per record, verbatim.
+
+    The record's ``stream`` attribute ("stdout"/"stderr") picks the stream
+    and its ``end`` attribute the line terminator, mirroring ``print``'s
+    contract.  Exceptions -- notably ``BrokenPipeError`` -- propagate.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        stream = getattr(sys, getattr(record, "stream", "stderr"))
+        stream.write(record.getMessage() + getattr(record, "end", "\n"))
+
+    def handleError(self, record: logging.LogRecord) -> None:  # pragma: no cover
+        raise
+
+
+def resolve_level(value: Optional[str]) -> int:
+    """Map a ``REPRO_LOG_LEVEL`` string to a logging level (default INFO)."""
+    if not value:
+        return logging.INFO
+    text = value.strip().upper()
+    if text.isdigit():
+        return int(text)
+    level = logging.getLevelName(text)
+    return level if isinstance(level, int) else logging.INFO
+
+
+def configure_cli_logging() -> logging.Logger:
+    """(Re)configure the CLI logger from the environment and return it.
+
+    Idempotent and cheap: called at every CLI entry so a test that flips
+    ``REPRO_LOG_LEVEL`` between ``main()`` invocations sees the new level.
+    """
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    logger.setLevel(resolve_level(os.environ.get(LOG_LEVEL_ENV)))
+    logger.propagate = False
+    if not any(isinstance(handler, _DynamicStreamHandler) for handler in logger.handlers):
+        logger.addHandler(_DynamicStreamHandler())
+    return logger
+
+
+def emit_out(message: Any = "", end: str = "\n") -> None:
+    """Print-compatible INFO output on stdout."""
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    logger.info("%s", message, extra={"stream": "stdout", "end": end})
+
+
+def emit_err(message: Any = "", end: str = "\n") -> None:
+    """Print-compatible INFO progress output on stderr."""
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    logger.info("%s", message, extra={"stream": "stderr", "end": end})
+
+
+def emit_error(message: Any) -> None:
+    """An error line on stderr (survives REPRO_LOG_LEVEL=ERROR)."""
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    logger.error("%s", message, extra={"stream": "stderr"})
+
+
+def emit_diagnostic(message: Any) -> None:
+    """A DEBUG diagnostic on stderr (visible under REPRO_LOG_LEVEL=DEBUG)."""
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    logger.debug("%s", message, extra={"stream": "stderr"})

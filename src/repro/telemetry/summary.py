@@ -1,0 +1,182 @@
+"""Trace rendering: per-stage timing trees and Chrome trace export.
+
+Consumes merged JSONL traces produced by :mod:`repro.telemetry.trace` and
+renders them two ways:
+
+* :func:`render_summary` -- the ``repro trace summary`` view: an aggregated
+  call tree (spans grouped by their name-path) with count, cumulative and
+  *self* time (cumulative minus child spans) and per-path p50/max, followed
+  by the slowest individual spans so outliers are one glance away.
+* :func:`chrome_trace` -- the ``repro trace export --format chrome`` view:
+  Chrome Trace Event Format JSON (complete ``"X"`` events in microseconds)
+  loadable in ``chrome://tracing`` / Perfetto for flame-style inspection.
+
+Both treat the trace as data, never re-reading the pipeline: they work on
+any merged trace file, including one produced by a crashed campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import quantile
+
+#: Spans whose parent id is unknown (cross-shard loss, crashed parent) are
+#: grafted onto this virtual root so the tree always renders completely.
+_ORPHAN = "(orphan)"
+
+
+def _span_index(events: Iterable[dict]) -> Tuple[List[dict], Dict[str, dict]]:
+    spans = [event for event in events if event.get("type") == "span"]
+    return spans, {span["id"]: span for span in spans if "id" in span}
+
+
+def _name_path(span: dict, by_id: Dict[str, dict]) -> Tuple[str, ...]:
+    """The span's ancestry as a name tuple, root first (cycle-guarded)."""
+    names: List[str] = []
+    seen = set()
+    node: Optional[dict] = span
+    while node is not None:
+        node_id = node.get("id")
+        if node_id in seen:
+            break
+        seen.add(node_id)
+        names.append(node.get("name", "?"))
+        parent_id = node.get("parent")
+        if parent_id is None:
+            break
+        parent = by_id.get(parent_id)
+        if parent is None:
+            names.append(_ORPHAN)
+            break
+        node = parent
+    return tuple(reversed(names))
+
+
+class _PathNode:
+    __slots__ = ("path", "count", "total", "self_time", "durations")
+
+    def __init__(self, path: Tuple[str, ...]) -> None:
+        self.path = path
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+        self.durations: List[float] = []
+
+
+def aggregate_tree(events: Iterable[dict]) -> List[_PathNode]:
+    """Group spans by name-path and compute cumulative/self durations.
+
+    Self time is each span's duration minus the summed durations of its
+    direct children, clamped at zero (children measured in another process
+    can slightly overlap the parent through clock skew).
+    """
+    spans, by_id = _span_index(events)
+    child_time: Dict[str, float] = {}
+    for span in spans:
+        parent_id = span.get("parent")
+        if parent_id is not None:
+            child_time[parent_id] = child_time.get(parent_id, 0.0) + float(span.get("dur", 0.0))
+    nodes: Dict[Tuple[str, ...], _PathNode] = {}
+    for span in spans:
+        path = _name_path(span, by_id)
+        node = nodes.get(path)
+        if node is None:
+            node = nodes[path] = _PathNode(path)
+        duration = float(span.get("dur", 0.0))
+        node.count += 1
+        node.total += duration
+        node.durations.append(duration)
+        node.self_time += max(0.0, duration - child_time.get(span.get("id", ""), 0.0))
+    # Depth-first order: parents before children, siblings by descending total.
+    ordered: List[_PathNode] = []
+
+    def emit(prefix: Tuple[str, ...]) -> None:
+        children = [
+            node
+            for path, node in nodes.items()
+            if len(path) == len(prefix) + 1 and path[: len(prefix)] == prefix
+        ]
+        for node in sorted(children, key=lambda n: -n.total):
+            ordered.append(node)
+            emit(node.path)
+
+    emit(())
+    # Paths whose intermediate levels never appear as spans themselves
+    # (possible with orphans) would be skipped by the walk; append them.
+    listed = {node.path for node in ordered}
+    ordered.extend(
+        node for path, node in sorted(nodes.items()) if path not in listed
+    )
+    return ordered
+
+
+def render_summary(events: List[dict], slowest: int = 5) -> str:
+    """Render the aggregated timing tree plus the slowest individual spans."""
+    spans, _ = _span_index(events)
+    if not spans:
+        return "trace: no spans recorded"
+    pids = sorted({span.get("pid") for span in spans if span.get("pid") is not None})
+    n_events = sum(1 for event in events if event.get("type") == "event")
+    lines = [
+        f"trace: {len(spans)} span(s), {n_events} event(s), {len(pids)} process(es)"
+    ]
+    header = f"  {'span':<44} {'count':>6} {'total s':>9} {'self s':>9} {'p50 s':>9} {'max s':>9}"
+    lines.append(header)
+    for node in aggregate_tree(events):
+        indent = "  " * (len(node.path) - 1)
+        label = indent + node.path[-1]
+        if len(label) > 44:
+            label = label[:41] + "..."
+        ordered = sorted(node.durations)
+        lines.append(
+            f"  {label:<44} {node.count:>6} {node.total:>9.3f} {node.self_time:>9.3f}"
+            f" {quantile(ordered, 0.50):>9.3f} {ordered[-1]:>9.3f}"
+        )
+    if slowest > 0:
+        ranked = sorted(spans, key=lambda span: -float(span.get("dur", 0.0)))[:slowest]
+        lines.append(f"  slowest {len(ranked)} span(s):")
+        for rank, span in enumerate(ranked, start=1):
+            attrs = span.get("attrs") or {}
+            detail = ", ".join(f"{key}={attrs[key]}" for key in sorted(attrs)[:3])
+            suffix = f" ({detail})" if detail else ""
+            lines.append(
+                f"    {rank}. {span.get('name', '?')} {float(span.get('dur', 0.0)):.3f}s"
+                f" pid={span.get('pid')}{suffix}"
+            )
+    return "\n".join(lines)
+
+
+def chrome_trace(events: List[dict]) -> Dict[str, Any]:
+    """Convert a trace to Chrome Trace Event Format (``chrome://tracing``).
+
+    Spans become complete (``"ph": "X"``) events and instant events become
+    ``"ph": "i"``; timestamps are rebased to the earliest event and scaled
+    to microseconds, as the format requires.
+    """
+    if events:
+        base = min(float(event.get("ts", 0.0)) for event in events)
+    else:
+        base = 0.0
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        pid = event.get("pid", 0)
+        record: Dict[str, Any] = {
+            "name": event.get("name", "?"),
+            "pid": pid,
+            "tid": pid,
+            "ts": (float(event.get("ts", 0.0)) - base) * 1e6,
+            "args": dict(event.get("attrs") or {}),
+        }
+        if event.get("type") == "span":
+            record["ph"] = "X"
+            record["dur"] = float(event.get("dur", 0.0)) * 1e6
+            record["cat"] = "span"
+        elif event.get("type") == "event":
+            record["ph"] = "i"
+            record["s"] = "t"
+            record["cat"] = "event"
+        else:
+            continue
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -36,6 +36,23 @@ def isolated_campaign_store(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "test-campaigns.sqlite"))
 
 
+@pytest.fixture(autouse=True)
+def isolated_telemetry(monkeypatch):
+    """Keep tracing and log-level state out of (and between) tests.
+
+    A developer's ``REPRO_TRACE``/``REPRO_LOG_LEVEL`` must not leak into the
+    suite, and a test that enables tracing must not leave the process-wide
+    tracer recording for later tests.
+    """
+    from repro import telemetry
+
+    monkeypatch.delenv(telemetry.TRACE_ENV, raising=False)
+    monkeypatch.delenv(telemetry.LOG_LEVEL_ENV, raising=False)
+    telemetry.configure(None)
+    yield
+    telemetry.configure(None)
+
+
 @pytest.fixture(scope="session")
 def small_time_grid() -> TimeGrid:
     """Two-hourly samples of every 30th day (156 samples)."""
