@@ -23,7 +23,12 @@ Subcommands
     store: ``run`` enrolls + executes, ``status`` inspects (including the
     per-stage latency table from the store's metrics rollups), ``resume``
     re-attempts the missing points from the store alone, ``export`` emits
-    the standard JSONL results format.
+    the standard JSONL results format, ``doctor`` audits the store for
+    corruption and dead-driver leases (``--repair`` fixes what it finds).
+    ``run``/``resume`` accept ``--timeout`` (per-point wall-clock budget
+    enforced by a watchdog) and ``--retry-backoff`` (delay between retry
+    attempts); SIGINT/SIGTERM mark in-flight points ``failed
+    ("interrupted")`` and exit with code 130.
 ``report``
     Generate a paper-artifact report preset (``table1``, ``catalog``) as
     deterministic Markdown or CSV.
@@ -108,6 +113,29 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "campaign result-store database, or 'none' for the in-memory path "
             "(default: $REPRO_STORE_PATH or <cache dir>/campaigns.sqlite)"
+        ),
+    )
+
+
+def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock budget; overrunning points are killed by "
+            "the watchdog and recorded as timed_out (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "base delay between retry attempts of one point, doubling per "
+            "attempt with jitter (default: 0 = retry immediately)"
         ),
     )
 
@@ -230,6 +258,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         store=store,
         campaign=args.campaign,
         retries=args.retries,
+        timeout_s=args.timeout,
+        retry_backoff_s=args.retry_backoff,
     )
     for result in batch.results:
         emit_out(result.report())
@@ -248,7 +278,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     if batch.results_path is not None:
         emit_out(f"results store: {batch.results_path}")
-    return 1 if batch.campaign is not None and batch.campaign.failed else 0
+    incomplete = batch.campaign is not None and (
+        batch.campaign.failed or batch.campaign.timed_out
+    )
+    return 1 if incomplete else 0
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -270,6 +303,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         store=store,
         campaign=args.name,
         retries=args.retries,
+        timeout_s=args.timeout,
+        retry_backoff_s=args.retry_backoff,
     )
     for result in batch.results:
         emit_out(result.report())
@@ -277,7 +312,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     emit_out(f"store: {store}")
     if batch.results_path is not None:
         emit_out(f"results store: {batch.results_path}")
-    return 1 if batch.campaign.failed else 0
+    return 1 if batch.campaign.failed or batch.campaign.timed_out else 0
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
@@ -300,9 +335,11 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
             store=store,
             campaign=args.name,
             retries=args.retries,
+            timeout_s=args.timeout,
+            retry_backoff_s=args.retry_backoff,
         )
     _print_campaign_summary(batch.campaign)
-    return 1 if batch.campaign.failed else 0
+    return 1 if batch.campaign.failed or batch.campaign.timed_out else 0
 
 
 def _print_stage_latencies(store: ResultStore, campaign: str) -> None:
@@ -344,10 +381,13 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             emit_out(f"{len(campaigns)} campaign(s) in {store.path}")
             for name, counts in campaigns:
                 total = sum(counts.values())
-                emit_out(
+                line = (
                     f"  {name}: {counts['done']}/{total} done, "
                     f"{counts['failed']} failed, {counts['pending']} pending"
                 )
+                if counts.get("timed_out"):
+                    line += f", {counts['timed_out']} timed out"
+                emit_out(line)
             return 0
         records = store.points(args.name)
         if not records:
@@ -362,29 +402,79 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                     "attempts": record.attempts,
                     "wall_time_s": record.wall_time_s,
                     "error": record.error,
+                    "degraded": record.degraded,
+                    "fallback_solver": record.fallback_solver,
+                    "lease_owner": record.lease_owner,
                 }
                 for record in records
             ]
             emit_out(json.dumps(payload, indent=2, sort_keys=True))
             return 0
-        counts = {status: 0 for status in ("pending", "running", "done", "failed")}
+        counts = {
+            status: 0
+            for status in ("pending", "running", "done", "failed", "timed_out")
+        }
         for record in records:
             counts[record.status] += 1
-        emit_out(
+        degraded = sum(1 for record in records if record.degraded)
+        line = (
             f"campaign {args.name!r}: {counts['done']}/{len(records)} done, "
             f"{counts['failed']} failed, {counts['pending']} pending, "
             f"{counts['running']} running"
         )
+        if counts["timed_out"]:
+            line += f", {counts['timed_out']} timed out"
+        if degraded:
+            line += f", {degraded} degraded"
+        emit_out(line)
         width = max(len(record.name) for record in records)
         for record in records:
             wall = "" if record.wall_time_s is None else f" {record.wall_time_s:.2f}s"
+            flags = ""
+            if record.degraded:
+                flags += f" degraded->{record.fallback_solver or '?'}"
+            if record.status == "running" and record.lease_owner:
+                flags += f" lease={record.lease_owner}"
             emit_out(
-                f"  {record.name:<{width}}  {record.status:<8} "
-                f"attempts={record.attempts}{wall}"
+                f"  {record.name:<{width}}  {record.status:<9} "
+                f"attempts={record.attempts}{wall}{flags}"
             )
-            if record.status == "failed" and record.error:
+            if record.status in ("failed", "timed_out") and record.error:
                 emit_out(f"    {record.error.splitlines()[0]}")
         _print_stage_latencies(store, args.name)
+    return 0
+
+
+def _cmd_campaign_doctor(args: argparse.Namespace) -> int:
+    store_path = _store_from_args(args)
+    if store_path is None:
+        raise ReproError("campaign doctor needs a result store (--store cannot be 'none')")
+    with ResultStore(store_path) as store:
+        report = store.integrity_report(args.name, stale_after_s=args.stale_after)
+        emit_out(f"store: {report['path']} (schema v{report['schema_version']})")
+        emit_out(f"sqlite integrity: {'ok' if report['sqlite_ok'] else 'FAILED'}")
+        if not report["issues"]:
+            emit_out("no issues found")
+            return 0
+        for issue in report["issues"]:
+            emit_out(f"issue: {issue}")
+        for kind, rows in (
+            ("corrupt spec", report["corrupt_specs"]),
+            ("corrupt result", report["corrupt_results"]),
+            ("stale running", report["stale_running"]),
+        ):
+            for campaign, digest in rows:
+                emit_out(f"  {kind}: {campaign} {digest[:12]}")
+        if not args.repair:
+            emit_out("run again with --repair to fix the issues above")
+            return 1
+        counts = store.repair(args.name, stale_after_s=args.stale_after)
+        emit_out(
+            f"repaired: {counts['results_discarded']} corrupt result(s) discarded, "
+            f"{counts['stale_reclaimed']} stale lease(s) reclaimed, "
+            f"{counts['specs_deleted']} unrecoverable row(s) deleted"
+        )
+        emit_out("resume the affected campaign(s) to recompute the demoted points")
     return 0
 
 
@@ -498,6 +588,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         store=_store_from_args(args),
         retries=args.retries,
+        timeout_s=args.timeout,
+        retry_backoff_s=args.retry_backoff,
     )
     artifact = sweep_report(sweep)
     emit_out(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
@@ -656,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--retries", type=int, default=0, help="per-point retry budget (store-backed only)"
     )
+    _add_robustness_arguments(batch_parser)
     _add_store_argument(batch_parser)
     _add_cache_arguments(batch_parser)
     _add_trace_argument(batch_parser)
@@ -717,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--retries", type=int, default=0, help="per-point retry budget (store-backed only)"
     )
+    _add_robustness_arguments(sweep_parser)
     _add_store_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
     _add_trace_argument(sweep_parser)
@@ -749,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--results", default=None, help="also write completed results as JSONL here"
     )
+    _add_robustness_arguments(campaign_run)
     _add_store_argument(campaign_run)
     _add_cache_arguments(campaign_run)
     _add_trace_argument(campaign_run)
@@ -779,10 +874,36 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.add_argument(
         "--retries", type=int, default=0, help="per-point retry budget within this run"
     )
+    _add_robustness_arguments(campaign_resume)
     _add_store_argument(campaign_resume)
     _add_cache_arguments(campaign_resume)
     _add_trace_argument(campaign_resume)
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_doctor = campaign_sub.add_parser(
+        "doctor",
+        help="audit the result store for corruption and dead-driver leases "
+        "(--repair to fix)",
+    )
+    campaign_doctor.add_argument(
+        "name", nargs="?", default=None, help="campaign name (omit to audit every campaign)"
+    )
+    campaign_doctor.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix the issues found: demote corrupt/stale rows so a resume "
+        "recomputes them, delete unrecoverable rows",
+    )
+    campaign_doctor.add_argument(
+        "--stale-after",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="heartbeat age beyond which a running row counts as abandoned "
+        "(default: 300)",
+    )
+    _add_store_argument(campaign_doctor)
+    campaign_doctor.set_defaults(func=_cmd_campaign_doctor)
 
     campaign_export = campaign_sub.add_parser(
         "export",
@@ -910,6 +1031,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         emit_error(f"error: {exc}")
         return 2
+    except KeyboardInterrupt as exc:
+        # SIGINT/SIGTERM during a batch/campaign: in-flight points were
+        # already marked failed ("interrupted") by the runner's handlers.
+        emit_error(f"interrupted: {exc or 'stopped by signal'}")
+        return 130
     except BrokenPipeError:
         # Downstream consumer (e.g. `repro list-scenarios | head`) closed
         # the pipe; exit quietly with the conventional SIGPIPE status.

@@ -38,8 +38,11 @@ classic in-memory pass, where the first scenario failure raises a
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -47,11 +50,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import faults
 from ..errors import ConfigurationError, ScenarioExecutionError
 from ..scenario.spec import ScenarioSpec
-from ..telemetry import MetricStats, configure_from_env, merge_active_trace, span
+from ..telemetry import MetricStats, configure_from_env, merge_active_trace, span, trace_event
 from .cache import PathLike, StageCache, resolve_cache
 from .stages import ScenarioResult, run_scenario, scenario_content_digest
 from .store import (
@@ -61,6 +65,7 @@ from .store import (
     METRIC_KIND_STAGE_RECOMPUTE_TIME,
     METRIC_KIND_STAGE_TIME,
     STATUS_DONE,
+    STATUS_TIMED_OUT,
     CampaignSummary,
     ResultStore,
     resolve_store,
@@ -73,6 +78,81 @@ INFLIGHT_PER_WORKER = 2
 
 #: Campaign name used when ``run_batch`` gets a store but no explicit name.
 DEFAULT_CAMPAIGN = "batch"
+
+#: How long the parallel driver blocks in ``wait`` per loop tick.  Bounded
+#: so deadlines, heartbeats, stale-lease reclamation and stop signals are
+#: all checked at this cadence even while every worker is busy.
+WAIT_TICK_S = 0.25
+
+#: Default cadence of campaign heartbeats (seconds between refreshes of the
+#: driver's own ``running`` rows).
+DEFAULT_HEARTBEAT_S = 5.0
+
+#: Default age after which a ``running`` row with no heartbeat counts as
+#: abandoned by a dead driver and is reclaimed mid-run.
+DEFAULT_STALE_AFTER_S = 60.0
+
+
+def retry_backoff_delay(base_s: float, attempt: int, key: str) -> float:
+    """Exponential backoff with deterministic jitter for one retry.
+
+    ``base_s * 2**attempt``, jittered into ``[0.5x, 1.5x)`` by a hash of
+    ``(key, attempt)`` -- deterministic for reproducible tests, yet
+    decorrelated across points so a fleet of failing points does not
+    retry in lockstep (the usual thundering-herd jitter rationale).
+    """
+    if base_s <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:4], "big") / 2**32
+    return base_s * (2**attempt) * (0.5 + unit)
+
+
+class _StopRequested(BaseException):
+    """Internal: a SIGTERM/SIGINT asked the driver to wind down cleanly.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    worker-error handler can swallow it; the driver converts it to a
+    ``KeyboardInterrupt`` once in-flight points are marked and the pool is
+    down.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _worker_init() -> None:
+    """Worker-process initializer: restore default signal dispositions.
+
+    Forked workers inherit the parent's stop handlers, which must not run
+    in a worker: a worker has to die promptly on ``terminate()`` (SIGTERM)
+    and leave Ctrl-C -- SIGINT, delivered to the whole process group -- to
+    the parent driver, which marks in-flight points and shuts down cleanly.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _terminate_worker_processes(executor: ProcessPoolExecutor) -> int:
+    """Hard-terminate every worker process of a pool (watchdog/stop path).
+
+    ``ProcessPoolExecutor`` has no per-task kill, so a hung worker is
+    evicted by terminating the pool's processes and rebuilding; returns the
+    number of processes signalled.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    count = 0
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+            count += 1
+        except Exception:
+            pass
+    return count
 
 
 def count_stage_flags(
@@ -196,7 +276,14 @@ def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
     # at-fork hook, spawned workers pick the path up here.  Each worker
     # writes its own shard; the parent merges at drain time.
     configure_from_env()
+    # Chaos hooks: $REPRO_FAULTS propagates the same way.  ``worker.crash``
+    # kills this process outright (exercising pool-death recovery in the
+    # parent), ``worker.hang`` sleeps past any deadline (exercising the
+    # watchdog).  Both are no-ops unless a fault plan is armed.
+    faults.configure_from_env()
     spec_dict, cache_dir, use_cache, mmap_arrays = args
+    faults.fire("worker.crash", key=str(spec_dict.get("name", "")))
+    faults.fire("worker.hang", key=str(spec_dict.get("name", "")))
     try:
         spec = ScenarioSpec.from_dict(spec_dict)
         cache = (
@@ -229,8 +316,12 @@ def _drive_points(
     jobs: int,
     on_start: Callable[[int], None],
     on_done: Callable[[int, dict, float], None],
-    on_error: Callable[[int, str, str], bool],
-    on_interrupted: Callable[[int, str], bool],
+    on_error: Callable[[int, str, str], Optional[float]],
+    on_interrupted: Callable[[int, str], Optional[float]],
+    on_timeout: Optional[Callable[[int], Optional[float]]] = None,
+    on_stop: Optional[Callable[[int], None]] = None,
+    on_tick: Optional[Callable[[Set[int]], Sequence[int]]] = None,
+    timeout_s: Optional[float] = None,
 ) -> None:
     """Execute the points at ``indices``, serially or in worker processes.
 
@@ -239,92 +330,221 @@ def _drive_points(
     other in-flight points is never billed to the point itself.
 
     ``on_error(index, error, traceback_text)`` handles a point whose own
-    code raised; returning True re-enqueues it (a retry).
+    code raised.  Retry contract (shared by ``on_error``,
+    ``on_interrupted`` and ``on_timeout``): return ``None`` to give the
+    point up, or a delay in seconds >= 0 to re-enqueue it -- the driver
+    will not start it again before the delay elapses (retry backoff).
 
     ``on_interrupted(index, error)`` handles a point that was in flight
     when a worker process *died* (OOM kill, segfault -- which breaks the
     whole pool and poisons every pending future, so the casualties include
     innocent points that merely shared the pool with the culprit).  The
-    driver rebuilds the executor and keeps going; returning True re-enqueues
-    the casualty.  One crashing worker can never take down the campaign.
+    driver rebuilds the executor and keeps going.  One crashing worker can
+    never take down the campaign.
+
+    ``on_timeout(index)`` handles a point that exceeded ``timeout_s``.  In
+    parallel mode this is a real parent-side watchdog: the pool's worker
+    processes are terminated (a hung worker cannot be cancelled any other
+    way) and the pool is rebuilt; innocent in-flight points go through
+    ``on_interrupted``.  In serial mode the check is necessarily post hoc
+    -- the parent *is* the worker -- so an overlong point is reported
+    against ``on_timeout`` after it finishes and its result is discarded.
+
+    ``on_tick(inflight_indices)`` runs every driver tick (bounded by
+    ``WAIT_TICK_S``) and may return extra point indices to enqueue -- the
+    campaign layer uses it to heartbeat its own leases and adopt stale
+    points reclaimed from dead drivers.
+
+    ``on_stop(index)`` marks one in-flight point when a stop signal
+    (:class:`_StopRequested`, raised by the SIGINT/SIGTERM handlers that
+    ``run_batch`` installs) lands: the driver kills the workers, reports
+    every in-flight point to ``on_stop``, and re-raises -- no point is ever
+    left looking ``running`` in a store after a clean shutdown.
     """
     queue = deque(indices)
+    not_before: Dict[int, float] = {}
+
+    def requeue(index: int, delay: Optional[float]) -> bool:
+        """Apply one callback verdict; True when the point was re-enqueued."""
+        if delay is None:
+            return False
+        if delay > 0.0:
+            not_before[index] = time.monotonic() + delay
+        queue.append(index)
+        return True
+
+    def pop_eligible() -> Optional[int]:
+        """Next queued index whose backoff delay has elapsed, if any."""
+        now = time.monotonic()
+        for _ in range(len(queue)):
+            index = queue.popleft()
+            if not_before.get(index, 0.0) <= now:
+                not_before.pop(index, None)
+                return index
+            queue.append(index)
+        return None
+
+    def run_tick(inflight: Set[int]) -> None:
+        if on_tick is None:
+            return
+        for extra in on_tick(inflight) or ():
+            if extra not in inflight and extra not in queue:
+                queue.append(extra)
 
     if jobs == 1:
         while queue:
-            index = queue.popleft()
+            run_tick(set())
+            index = pop_eligible()
+            if index is None:
+                time.sleep(min(WAIT_TICK_S, 0.05))
+                continue
             on_start(index)
             start = time.perf_counter()
             try:
+                # Serial mode has no worker processes -- the driver is the
+                # worker, so the worker.* chaos sites fire right here (a
+                # crash kills the driver, leaving the running rows a later
+                # resume must reclaim; a hang trips the post-hoc timeout).
+                faults.fire("worker.crash", key=specs[index].name)
+                faults.fire("worker.hang", key=specs[index].name)
                 record = run_scenario(
                     specs[index], cache=stage_cache, use_cache=use_cache
                 ).to_dict()
+            except _StopRequested:
+                if on_stop is not None:
+                    on_stop(index)
+                raise
             except Exception as exc:
-                if on_error(index, f"{type(exc).__name__}: {exc}", traceback.format_exc()):
-                    queue.append(index)
+                requeue(
+                    index,
+                    on_error(index, f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+                )
                 continue
-            on_done(index, record, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            if timeout_s is not None and on_timeout is not None and elapsed > timeout_s:
+                requeue(index, on_timeout(index))
+                continue
+            on_done(index, record, elapsed)
         return
 
     cache_dir = str(stage_cache.root) if stage_cache.enabled else None
     max_inflight = jobs * INFLIGHT_PER_WORKER
-    executor = ProcessPoolExecutor(max_workers=jobs)
+    executor = ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init)
     pending: Dict[object, int] = {}
+    deadlines: Dict[object, float] = {}
 
     def consume(index: int, future: object) -> None:
         """Harvest one settled future into on_done / on_error."""
         try:
             status, record = future.result()
         except Exception as exc:  # transport failures (unpicklable, ...)
-            if on_error(index, f"{type(exc).__name__}: {exc}", ""):
-                queue.append(index)
+            requeue(index, on_error(index, f"{type(exc).__name__}: {exc}", ""))
             return
         if status == "ok":
             on_done(index, record, float(record.get("runtime_s", 0.0)))
         else:
-            if on_error(index, record["error"], record.get("traceback", "")):
-                queue.append(index)
+            requeue(index, on_error(index, record["error"], record.get("traceback", "")))
 
+    def settled_ok(future: object) -> bool:
+        """Finished with a transportable outcome (not pool death/cancel)."""
+        return (
+            future.done()
+            and not future.cancelled()
+            and not isinstance(future.exception(), BrokenProcessPool)
+        )
+
+    def rebuild_pool(reason: str, overdue: Set[object]) -> None:
+        """Watchdog / pool-death recovery: kill, reclassify, restart.
+
+        Every in-flight future is classified exactly once: finished ones
+        are consumed normally, overdue ones go to ``on_timeout``, the rest
+        are innocent casualties of the teardown and go to
+        ``on_interrupted``.
+        """
+        nonlocal executor
+        _terminate_worker_processes(executor)
+        executor.shutdown(wait=False, cancel_futures=True)
+        casualties = dict(pending)
+        pending.clear()
+        deadlines.clear()
+        executor = ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init)
+        for future, index in casualties.items():
+            if settled_ok(future):
+                consume(index, future)
+            elif future in overdue and on_timeout is not None:
+                requeue(index, on_timeout(index))
+            else:
+                requeue(index, on_interrupted(index, reason))
+
+    clean = False
     try:
         while queue or pending:
-            while queue and len(pending) < max_inflight:
-                index = queue.popleft()
+            run_tick(set(pending.values()))
+            while len(pending) < max_inflight:
+                index = pop_eligible()
+                if index is None:
+                    break
                 on_start(index)
                 payload = _worker_payload(
                     specs[index], cache_dir, use_cache, stage_cache.mmap_arrays
                 )
-                pending[executor.submit(_run_scenario_worker, payload)] = index
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                future = executor.submit(_run_scenario_worker, payload)
+                pending[future] = index
+                if timeout_s is not None:
+                    deadlines[future] = time.monotonic() + timeout_s
+            if not pending:
+                # Everything queued is backing off; idle one tick.
+                time.sleep(min(WAIT_TICK_S, 0.05))
+                continue
+            done, _ = wait(pending, timeout=WAIT_TICK_S, return_when=FIRST_COMPLETED)
+            pool_broken = False
             for future in done:
                 index = pending.pop(future)
+                deadlines.pop(future, None)
                 if not isinstance(future.exception(), BrokenProcessPool):
                     consume(index, future)
                     continue
-                # A worker process died.  The pool is now unusable: harvest
-                # in-flight futures that did complete before the death, hand
-                # the rest to on_interrupted individually, and rebuild the
-                # pool so the remaining queue keeps running.
+                # A worker process died.  The pool is now unusable: the
+                # culprit cannot be identified, so treat this future and
+                # everything still in flight as casualties, harvest what
+                # finished before the death, and rebuild the pool so the
+                # remaining queue keeps running.
                 exc = future.exception()
-                broken = [index]
-                finished = []
-                for other, other_index in pending.items():
-                    if other.done() and not isinstance(
-                        other.exception(), BrokenProcessPool
-                    ):
-                        finished.append((other_index, other))
-                    else:
-                        broken.append(other_index)
-                pending.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=jobs)
-                for other_index, other in finished:
-                    consume(other_index, other)
-                for broken_index in broken:
-                    if on_interrupted(broken_index, f"worker process died: {exc}"):
-                        queue.append(broken_index)
+                requeue(index, on_interrupted(index, f"worker process died: {exc}"))
+                rebuild_pool(f"worker process died: {exc}", overdue=set())
+                pool_broken = True
                 break
+            if pool_broken:
+                continue
+            if timeout_s is not None and deadlines:
+                now = time.monotonic()
+                overdue = {
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline <= now and not future.done()
+                }
+                if overdue:
+                    names = ", ".join(
+                        repr(specs[pending[future]].name) for future in sorted(
+                            overdue, key=lambda f: pending[f]
+                        )
+                    )
+                    trace_event("batch.watchdog", overdue=len(overdue), points=names)
+                    rebuild_pool(
+                        "worker evicted by watchdog "
+                        f"(pool torn down to kill overdue point(s) {names})",
+                        overdue=overdue,
+                    )
+        clean = True
+    except _StopRequested:
+        _terminate_worker_processes(executor)
+        if on_stop is not None:
+            for index in pending.values():
+                on_stop(index)
+        pending.clear()
+        raise
     finally:
-        executor.shutdown()
+        executor.shutdown(wait=clean, cancel_futures=not clean)
 
 
 def run_batch(
@@ -337,6 +557,10 @@ def run_batch(
     store: Union[ResultStore, PathLike, None] = None,
     campaign: Optional[str] = None,
     retries: int = 0,
+    timeout_s: Optional[float] = None,
+    retry_backoff_s: float = 0.0,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
 ) -> BatchResult:
     """Execute a scenario fleet, optionally in parallel, and store results.
 
@@ -364,6 +588,21 @@ def run_batch(
     retries:
         How often a failed point is re-attempted within this run
         (store-backed campaigns only).
+    timeout_s:
+        Per-point wall-clock budget.  In parallel runs a parent-side
+        watchdog terminates workers whose point overruns it (status
+        ``timed_out``); serial runs check post hoc.  ``None`` disables.
+    retry_backoff_s:
+        Base delay between retry attempts of one point; doubles per
+        attempt with deterministic jitter (:func:`retry_backoff_delay`).
+        ``0`` (default) retries immediately, preserving prior behaviour.
+    heartbeat_s:
+        Campaign-mode cadence for refreshing this driver's ``running``-row
+        heartbeats and scanning for stale rows abandoned by dead drivers.
+    stale_after_s:
+        Heartbeat age beyond which another driver's ``running`` row counts
+        as abandoned and is reclaimed (then re-enqueued if it belongs to
+        this fleet).
 
     Example
     -------
@@ -397,6 +636,17 @@ def run_batch(
         raise ConfigurationError("scenario names within a batch must be unique")
     if retries < 0:
         raise ConfigurationError("retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError("timeout_s must be > 0 when set")
+    if retry_backoff_s < 0:
+        raise ConfigurationError("retry_backoff_s must be >= 0")
+    if heartbeat_s <= 0 or stale_after_s <= 0:
+        raise ConfigurationError("heartbeat_s and stale_after_s must be > 0")
+
+    # Arm fault injection from $REPRO_FAULTS in the parent as well (workers
+    # arm themselves): parent-side sites (store.io, cache.corrupt on this
+    # process's cache handle) fire here.  No-op without the env var.
+    faults.configure_from_env()
 
     stage_cache = resolve_cache(cache, enabled=use_cache)
     # Workers reconstruct their cache handle from (dir, flag); the effective
@@ -412,6 +662,27 @@ def run_batch(
 
     result_store = resolve_store(store)
     owns_store = result_store is not None and not isinstance(store, ResultStore)
+
+    # Graceful-shutdown handlers: SIGTERM (orchestrators, `timeout`, k8s)
+    # and SIGINT raise _StopRequested in the main thread, the driver marks
+    # every in-flight point ``failed ("interrupted...")`` and kills its
+    # workers, and the finally block below still closes the store and
+    # merges trace shards -- so a terminated campaign resumes cleanly with
+    # no orphaned ``running`` rows.  Signals can only be installed from the
+    # main thread; elsewhere (tests driving batches from threads) the
+    # process keeps its existing handlers.
+    installed_handlers: List[Tuple[int, object]] = []
+    if threading.current_thread() is threading.main_thread():
+
+        def _stop_handler(signum: int, frame: object) -> None:
+            raise _StopRequested(signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed_handlers.append((signum, signal.signal(signum, _stop_handler)))
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+
     try:
         batch_attrs = {"n_scenarios": len(specs), "jobs": jobs}
         if result_store is not None:
@@ -419,7 +690,9 @@ def run_batch(
         with span("batch", **batch_attrs):
             start = time.perf_counter()
             if result_store is None:
-                results = _run_in_memory(specs, stage_cache, use_cache, jobs)
+                results = _run_in_memory(
+                    specs, stage_cache, use_cache, jobs, timeout_s, retry_backoff_s
+                )
                 summary: Optional[CampaignSummary] = None
             else:
                 results, summary = _run_campaign(
@@ -430,9 +703,25 @@ def run_batch(
                     result_store,
                     campaign if campaign else DEFAULT_CAMPAIGN,
                     retries,
+                    timeout_s=timeout_s,
+                    retry_backoff_s=retry_backoff_s,
+                    heartbeat_s=heartbeat_s,
+                    stale_after_s=stale_after_s,
                 )
             runtime = time.perf_counter() - start
+    except _StopRequested as stop:
+        # Surface as the interruption Python users expect; the CLI maps it
+        # to exit code 130.
+        raise KeyboardInterrupt(
+            f"batch interrupted by signal {stop.signum}; "
+            "in-flight points marked failed ('interrupted')"
+        ) from None
     finally:
+        for signum, previous in installed_handlers:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
         if owns_store:
             result_store.close()
         # Fold worker trace shards into the single merged trace; a no-op
@@ -460,13 +749,17 @@ def _run_in_memory(
     stage_cache: StageCache,
     use_cache: bool,
     jobs: int,
+    timeout_s: Optional[float] = None,
+    retry_backoff_s: float = 0.0,
 ) -> List[ScenarioResult]:
     """The classic one-pass batch: any scenario failure aborts the run.
 
     The failure is wrapped in a :class:`ScenarioExecutionError` naming the
     point (scenario name + content digest) instead of surfacing a bare
-    worker traceback.
+    worker traceback.  A point exceeding ``timeout_s`` is a failure too --
+    without a store there is nothing to retry against.
     """
+    del retry_backoff_s  # no retries without a store; accepted for symmetry
     records: List[Optional[dict]] = [None] * len(specs)
 
     def on_start(index: int) -> None:
@@ -475,7 +768,7 @@ def _run_in_memory(
     def on_done(index: int, record: dict, wall_time_s: float) -> None:
         records[index] = record
 
-    def on_error(index: int, error: str, traceback_text: str) -> bool:
+    def on_error(index: int, error: str, traceback_text: str) -> Optional[float]:
         name = specs[index].name
         digest = scenario_content_digest(specs[index])
         message = _point_error_message(name, digest, error)
@@ -483,8 +776,13 @@ def _run_in_memory(
             message = f"{message}\n{traceback_text}"
         raise ScenarioExecutionError(message, scenario=name, digest=digest)
 
-    def on_interrupted(index: int, error: str) -> bool:
+    def on_interrupted(index: int, error: str) -> Optional[float]:
         return on_error(index, error, "")
+
+    def on_timeout(index: int) -> Optional[float]:
+        return on_error(
+            index, f"timed out: exceeded wall-clock budget of {timeout_s:g}s", ""
+        )
 
     _drive_points(
         range(len(specs)),
@@ -496,6 +794,8 @@ def _run_in_memory(
         on_done,
         on_error,
         on_interrupted,
+        on_timeout=on_timeout,
+        timeout_s=timeout_s,
     )
     return [ScenarioResult.from_dict(record) for record in records]
 
@@ -508,11 +808,16 @@ def _run_campaign(
     store: ResultStore,
     campaign: str,
     retries: int,
+    timeout_s: Optional[float] = None,
+    retry_backoff_s: float = 0.0,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
 ) -> Tuple[List[ScenarioResult], CampaignSummary]:
     """Store-backed execution: enroll, skip done, retry failures, account."""
     enrolled = store.enroll(campaign, specs)
     store.reset_running(campaign)
     digests = [record.digest for record in enrolled]
+    index_by_digest = {digest: index for index, digest in enumerate(digests)}
 
     todo = [i for i, record in enumerate(enrolled) if record.status != STATUS_DONE]
     summary = CampaignSummary(
@@ -524,6 +829,11 @@ def _run_campaign(
     interruptions: Dict[int, int] = {}
     computed: Dict[int, ScenarioResult] = {}
 
+    def backoff(index: int) -> float:
+        return retry_backoff_delay(
+            retry_backoff_s, attempts_this_run.get(index, 1) - 1, digests[index]
+        )
+
     def on_start(index: int) -> None:
         store.mark_running(campaign, digests[index])
 
@@ -531,7 +841,7 @@ def _run_campaign(
         store.mark_done(campaign, digests[index], record, wall_time_s)
         computed[index] = ScenarioResult.from_dict(record)
 
-    def on_error(index: int, error: str, traceback_text: str) -> bool:
+    def on_error(index: int, error: str, traceback_text: str) -> Optional[float]:
         message = _point_error_message(specs[index].name, digests[index], error)
         if traceback_text:
             message = f"{message}\n{traceback_text}"
@@ -540,10 +850,27 @@ def _run_campaign(
         if attempt < retries:
             attempts_this_run[index] = attempt + 1
             summary.retried += 1
-            return True
-        return False
+            return backoff(index)
+        return None
 
-    def on_interrupted(index: int, error: str) -> bool:
+    def on_timeout(index: int) -> Optional[float]:
+        # Terminal state is ``timed_out`` (distinct from ``failed``), but a
+        # timed-out point still draws on the same retry budget -- transient
+        # load spikes deserve another attempt.
+        message = _point_error_message(
+            specs[index].name,
+            digests[index],
+            f"timed out: exceeded wall-clock budget of {timeout_s:g}s",
+        )
+        store.mark_timed_out(campaign, digests[index], message)
+        attempt = attempts_this_run.get(index, 0)
+        if attempt < retries:
+            attempts_this_run[index] = attempt + 1
+            summary.retried += 1
+            return backoff(index)
+        return None
+
+    def on_interrupted(index: int, error: str) -> Optional[float]:
         # A worker death poisons every in-flight future, so most casualties
         # are innocent bystanders of the culprit point (which cannot be
         # identified).  Re-enqueue them without charging the error-retry
@@ -555,8 +882,42 @@ def _run_campaign(
         interruptions[index] = count
         if count <= retries + 1:
             summary.retried += 1
-            return True
-        return False
+            return retry_backoff_delay(retry_backoff_s, count - 1, digests[index])
+        return None
+
+    def on_stop(index: int) -> None:
+        # Signal-time marking: the point was in flight when SIGTERM/SIGINT
+        # landed.  The literal "interrupted" makes these rows discoverable
+        # (and reclaimable by `campaign doctor` / the next resume).
+        store.mark_failed(
+            campaign,
+            digests[index],
+            _point_error_message(
+                specs[index].name, digests[index], "interrupted: terminated by signal"
+            ),
+        )
+
+    last_beat = [float("-inf")]
+
+    def on_tick(inflight: Set[int]) -> Sequence[int]:
+        # Liveness bookkeeping, rate-limited to the heartbeat cadence: (1)
+        # refresh our own running rows so concurrent drivers never reclaim
+        # them, (2) reclaim rows whose owner went silent and adopt the ones
+        # that belong to this fleet.
+        now = time.monotonic()
+        if now - last_beat[0] < heartbeat_s:
+            return ()
+        last_beat[0] = now
+        if inflight:
+            store.heartbeat(campaign, [digests[index] for index in inflight])
+        adopted: List[int] = []
+        for digest in store.reclaim_stale(campaign, stale_after_s):
+            index = index_by_digest.get(digest)
+            if index is None or index in computed or index in inflight:
+                continue
+            summary.reclaimed += 1
+            adopted.append(index)
+        return adopted
 
     _drive_points(
         todo,
@@ -568,6 +929,10 @@ def _run_campaign(
         on_done,
         on_error,
         on_interrupted,
+        on_timeout=on_timeout,
+        on_stop=on_stop,
+        on_tick=on_tick,
+        timeout_s=timeout_s,
     )
 
     summary.computed = len(computed)
@@ -585,18 +950,26 @@ def _run_campaign(
 
     # Assemble results in input order -- freshly computed points from this
     # run, previously-done points reloaded from the store -- and count
-    # done/failed over *this fleet's* digests (a campaign may hold further
-    # points from earlier enrollments; `repro campaign status` shows those).
+    # done/timed_out/failed over *this fleet's* digests (a campaign may
+    # hold further points from earlier enrollments; `repro campaign status`
+    # shows those).  ``degraded`` counts done points answered by a fallback
+    # solver, whether computed now or reloaded.
     results: List[ScenarioResult] = []
     for index, digest in enumerate(digests):
         if index in computed:
             summary.done += 1
+            if computed[index].degraded:
+                summary.degraded += 1
             results.append(computed[index])
             continue
         record = store.point(campaign, digest)
         if record.status == STATUS_DONE:
             summary.done += 1
+            if record.degraded:
+                summary.degraded += 1
             results.append(record.result())
+        elif record.status == STATUS_TIMED_OUT:
+            summary.timed_out += 1
         else:
             summary.failed += 1
 
@@ -649,6 +1022,9 @@ def _campaign_metric_rows(
         ("skipped", summary.skipped),
         ("failed", summary.failed),
         ("retried", summary.retried),
+        ("timed_out", summary.timed_out),
+        ("degraded", summary.degraded),
+        ("reclaimed", summary.reclaimed),
         ("cache_stage_hits", sum(summary.stage_hits.values())),
         ("cache_stage_recomputes", sum(summary.stage_recomputes.values())),
     ):

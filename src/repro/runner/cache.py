@@ -27,8 +27,32 @@ fleet of batch worker processes reading the same cached solar field share
 one page-cache copy of the bulk data instead of each unpickling a private
 one.  Set ``REPRO_CACHE_MMAP=0`` to load full in-memory copies instead
 (e.g. when the cache directory lives on a slow network filesystem).
-Sidecars are written before the pickle and a missing/corrupt sidecar turns
-the whole entry into a miss, preserving the atomicity guarantee.
+
+Integrity manifests and quarantine
+----------------------------------
+Every entry carries a ``<digest>.sum.json`` manifest recording the SHA-256
+and byte size of the pickle and each sidecar.  The write order is sidecars
+-> manifest -> pickle, so the pickle's appearance is the commit point: a
+reader that finds the pickle also finds the manifest describing it, and a
+crash mid-write leaves only invisible leftovers that read as plain misses.
+On a hit, :meth:`StageCache.get` verifies the entry per ``verify`` mode:
+
+``fast`` (default)
+    Full hash of the pickle plus a byte-size check of each sidecar.
+    Sidecar hashing is skipped so memory-mapped reads stay zero-copy.
+``full``
+    Additionally streams every sidecar through SHA-256 (``REPRO_CACHE_VERIFY=full``;
+    detects same-size bit rot at the cost of reading the bulk data).
+``off``
+    No manifest checks; pre-manifest behaviour.
+
+Any verification failure -- checksum mismatch, size mismatch, missing
+manifest, unreadable pickle or sidecar -- *quarantines* the entry: all of
+its files are moved to ``<root>/_quarantine/<stage>/`` with a
+``.quarantined`` suffix (preserved for post-mortem, invisible to lookups
+and :meth:`entry_count`), a ``cache.quarantine`` trace event and a stderr
+diagnostic are emitted, and the lookup degrades to a miss.  Corruption is
+therefore never an exception, only a recompute.
 """
 
 from __future__ import annotations
@@ -38,16 +62,18 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import faults
 from ..errors import ConfigurationError
-from ..telemetry import span
+from ..telemetry import emit_diagnostic, span, trace_event
 
 PathLike = Union[str, Path]
 
@@ -57,9 +83,19 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment variable switching memory-mapped sidecar reads off ("0").
 CACHE_MMAP_ENV = "REPRO_CACHE_MMAP"
 
+#: Environment variable selecting the entry verification mode.
+CACHE_VERIFY_ENV = "REPRO_CACHE_VERIFY"
+
+#: The recognised ``REPRO_CACHE_VERIFY`` modes.
+CACHE_VERIFY_MODES = ("off", "fast", "full")
+
+#: Subdirectory of the cache root holding quarantined corrupt entries.
+QUARANTINE_DIR = "_quarantine"
+
 #: Bump to orphan every existing entry when the on-disk format changes.
 #: Version 2: daylight-compressed solar fields + ``.npy`` array sidecars.
-CACHE_FORMAT_VERSION = 2
+#: Version 3: per-entry ``.sum.json`` integrity manifests.
+CACHE_FORMAT_VERSION = 3
 
 
 def canonical_json(payload: Any) -> str:
@@ -96,6 +132,46 @@ def _mmap_default() -> bool:
     return os.environ.get(CACHE_MMAP_ENV, "1") != "0"
 
 
+def _verify_default() -> str:
+    """Default entry verification mode (``REPRO_CACHE_VERIFY``)."""
+    return os.environ.get(CACHE_VERIFY_ENV) or "fast"
+
+
+def _file_sha256(path: Path) -> str:
+    """Stream a file through SHA-256 (used by ``full`` verification)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class _HashingHandle:
+    """File-object proxy that hashes and counts everything written.
+
+    Intercepts only ``write``; everything else (``tell``, ``flush``, ...)
+    is delegated, so ``numpy.save`` and ``pickle.dump`` work unchanged.
+    """
+
+    def __init__(self, handle: Any) -> None:
+        self._handle = handle
+        self._digest = hashlib.sha256()
+        self.size = 0
+
+    def write(self, data: Any) -> int:
+        view = memoryview(data)
+        self._digest.update(view)
+        self.size += view.nbytes
+        return self._handle.write(data)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._handle, name)
+
+    @property
+    def sha256(self) -> str:
+        return self._digest.hexdigest()
+
+
 @dataclass
 class _SidecarStub:
     """Pickled form of an entry whose bulk arrays live in ``.npy`` sidecars.
@@ -116,9 +192,15 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+        }
 
 
 @dataclass
@@ -138,6 +220,9 @@ class StageCache:
         When True (the default, overridable via ``REPRO_CACHE_MMAP=0``)
         array sidecars are reattached as read-only memory maps instead of
         in-memory copies.
+    verify:
+        Entry verification mode: ``"fast"`` (default, overridable via
+        ``REPRO_CACHE_VERIFY``), ``"full"``, or ``"off"``.
 
     Example
     -------
@@ -155,7 +240,7 @@ class StageCache:
     >>> cache.get_or_compute("stage", {"pitch": 0.5}, lambda: "other key")
     ('other key', False)
     >>> cache.stats.as_dict()
-    {'hits': 1, 'misses': 2, 'writes': 2}
+    {'hits': 1, 'misses': 2, 'writes': 2, 'quarantined': 0}
     >>> tmp.cleanup()
     """
 
@@ -163,9 +248,16 @@ class StageCache:
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
     mmap_arrays: bool = field(default_factory=_mmap_default)
+    verify: str = field(default_factory=_verify_default)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        if self.verify not in CACHE_VERIFY_MODES:
+            known = ", ".join(CACHE_VERIFY_MODES)
+            raise ConfigurationError(
+                f"invalid cache verify mode {self.verify!r} "
+                f"(set {CACHE_VERIFY_ENV} to one of: {known})"
+            )
 
     # -- key handling -------------------------------------------------------------
 
@@ -180,6 +272,11 @@ class StageCache:
     def _sidecar_path(path: Path, name: str) -> Path:
         """On-disk location of one array sidecar of the entry at ``path``."""
         return path.with_name(f"{path.stem}.{name}.npy")
+
+    @staticmethod
+    def _manifest_path(path: Path) -> Path:
+        """On-disk location of the integrity manifest of the entry at ``path``."""
+        return path.with_name(f"{path.stem}.sum.json")
 
     @classmethod
     def _entry_bytes(cls, path: Path, sidecar_fields: Tuple[str, ...]) -> int:
@@ -196,10 +293,93 @@ class StageCache:
                 pass
         return total
 
+    # -- integrity ----------------------------------------------------------------
+
+    def _load_manifest(self, path: Path) -> Optional[Dict[str, Dict[str, Any]]]:
+        """The ``{filename: {sha256, size}}`` map of an entry, or None."""
+        try:
+            data = json.loads(self._manifest_path(path).read_text(encoding="utf-8"))
+            files = data["files"]
+            if not isinstance(files, dict):
+                return None
+            return files
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _quarantine(self, stage: str, path: Path, reason: str) -> None:
+        """Move every file of a corrupt entry out of the lookup path.
+
+        The files keep their names plus a ``.quarantined`` suffix under
+        ``<root>/_quarantine/<stage>/`` so they stay available for
+        post-mortem inspection but can never satisfy (or re-poison) a
+        future lookup, and are not counted by :meth:`entry_count`.
+        """
+        target_dir = self.root / QUARANTINE_DIR / stage
+        moved = []
+        candidates = [path, self._manifest_path(path)]
+        candidates.extend(sorted(path.parent.glob(f"{path.stem}.*.npy")))
+        for candidate in candidates:
+            if not candidate.exists():
+                continue
+            try:
+                target_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(candidate, target_dir / f"{candidate.name}.quarantined")
+                moved.append(candidate.name)
+            except OSError:
+                # Last resort: an entry we cannot move must not survive as
+                # a lookup target either.
+                try:
+                    candidate.unlink()
+                except OSError:
+                    pass
+        self.stats.quarantined += 1
+        trace_event("cache.quarantine", stage=stage, entry=path.stem, reason=reason)
+        emit_diagnostic(
+            f"cache: quarantined corrupt entry {stage}/{path.stem} "
+            f"({reason}; files: {', '.join(moved) or 'none'})"
+        )
+
+    def _verify_pickle(self, raw: bytes, path: Path) -> Optional[str]:
+        """Check the pickle bytes against the manifest; a reason on failure."""
+        files = self._load_manifest(path)
+        if files is None:
+            return "missing or unreadable checksum manifest"
+        record = files.get(path.name)
+        if record is None:
+            return "manifest lacks pickle record"
+        if len(raw) != record.get("size"):
+            return f"pickle size mismatch ({len(raw)} != {record.get('size')})"
+        if hashlib.sha256(raw).hexdigest() != record.get("sha256"):
+            return "pickle checksum mismatch"
+        return None
+
+    def _verify_sidecar(self, sidecar: Path, path: Path) -> Optional[str]:
+        """Check one sidecar file against the manifest; a reason on failure."""
+        files = self._load_manifest(path)
+        if files is None:
+            return "missing or unreadable checksum manifest"
+        record = files.get(sidecar.name)
+        if record is None:
+            return f"manifest lacks sidecar record for {sidecar.name}"
+        try:
+            size = sidecar.stat().st_size
+        except OSError:
+            return f"missing sidecar {sidecar.name}"
+        if size != record.get("size"):
+            return f"sidecar {sidecar.name} size mismatch ({size} != {record.get('size')})"
+        if self.verify == "full" and _file_sha256(sidecar) != record.get("sha256"):
+            return f"sidecar {sidecar.name} checksum mismatch"
+        return None
+
     # -- lookup / store -----------------------------------------------------------
 
     def get(self, stage: str, payload: Any) -> Tuple[Any, bool]:
-        """Look up a stage result.  Returns ``(value, hit)``."""
+        """Look up a stage result.  Returns ``(value, hit)``.
+
+        A present-but-corrupt entry (failed checksum, truncated pickle or
+        sidecar, missing manifest) is quarantined and returned as a miss;
+        corruption never raises.
+        """
         if not self.enabled:
             self.stats.misses += 1
             return None, False
@@ -209,29 +389,58 @@ class StageCache:
             sidecar_s = 0.0
             started = time.perf_counter()
             try:
-                with open(path, "rb") as handle:
-                    value = pickle.load(handle)
-                if isinstance(value, _SidecarStub):
-                    stub = value.value
-                    sidecar_fields = value.fields
-                    mmap_mode = "r" if self.mmap_arrays else None
-                    sidecar_started = time.perf_counter()
-                    for name in value.fields:
-                        array = np.load(self._sidecar_path(path, name), mmap_mode=mmap_mode)
-                        object.__setattr__(stub, name, array)
-                    sidecar_s = time.perf_counter() - sidecar_started
-                    value = stub
+                raw = path.read_bytes()
+            except OSError:
+                # Absent entry (or a partial write that never published its
+                # pickle): an ordinary miss, nothing to quarantine.
+                self.stats.misses += 1
+                cache_span.set(hit=False)
+                return None, False
+            if self.verify != "off":
+                reason = self._verify_pickle(raw, path)
+                if reason is not None:
+                    self._quarantine(stage, path, reason)
+                    self.stats.misses += 1
+                    cache_span.set(hit=False)
+                    return None, False
+            try:
+                value = pickle.loads(raw)
             except (
-                OSError,
                 pickle.PickleError,
                 EOFError,
                 AttributeError,
                 ImportError,
+                IndexError,
                 ValueError,
             ):
+                self._quarantine(stage, path, "unreadable pickle")
                 self.stats.misses += 1
                 cache_span.set(hit=False)
                 return None, False
+            if isinstance(value, _SidecarStub):
+                stub = value.value
+                sidecar_fields = value.fields
+                mmap_mode = "r" if self.mmap_arrays else None
+                sidecar_started = time.perf_counter()
+                for name in value.fields:
+                    sidecar = self._sidecar_path(path, name)
+                    if self.verify != "off":
+                        reason = self._verify_sidecar(sidecar, path)
+                        if reason is not None:
+                            self._quarantine(stage, path, reason)
+                            self.stats.misses += 1
+                            cache_span.set(hit=False)
+                            return None, False
+                    try:
+                        array = np.load(sidecar, mmap_mode=mmap_mode)
+                    except (OSError, ValueError, EOFError, pickle.PickleError):
+                        self._quarantine(stage, path, f"unreadable sidecar {sidecar.name}")
+                        self.stats.misses += 1
+                        cache_span.set(hit=False)
+                        return None, False
+                    object.__setattr__(stub, name, array)
+                sidecar_s = time.perf_counter() - sidecar_started
+                value = stub
             self.stats.hits += 1
             if cache_span.active:
                 total_s = time.perf_counter() - started
@@ -247,8 +456,10 @@ class StageCache:
         """Store a stage result atomically (no-op when disabled).
 
         The declared ``__cache_array_fields__`` of ``value`` (if any) are
-        written as raw ``.npy`` sidecars *before* the pickle is published,
-        so a concurrent reader either sees the complete entry or a miss.
+        written as raw ``.npy`` sidecars first, then the ``.sum.json``
+        integrity manifest, then the pickle -- the pickle's atomic rename
+        is the commit point, so a concurrent reader either sees the
+        complete, manifest-covered entry or a miss.
         """
         if not self.enabled:
             return
@@ -260,22 +471,39 @@ class StageCache:
             sidecar_fields = tuple(getattr(type(value), "__cache_array_fields__", ()) or ())
             sidecar_s = 0.0
             started = time.perf_counter()
+            manifest_files: Dict[str, Dict[str, Any]] = {}
             if sidecar_fields:
                 stored = copy.copy(value)
                 sidecar_started = time.perf_counter()
                 for name in sidecar_fields:
                     array = np.asarray(getattr(value, name))
-                    self._write_atomic(
-                        self._sidecar_path(path, name), lambda h, a=array: np.save(h, a)
+                    sidecar = self._sidecar_path(path, name)
+                    checksum = self._write_atomic(
+                        sidecar, lambda h, a=array: np.save(h, a)
                     )
+                    manifest_files[sidecar.name] = checksum
                     object.__setattr__(stored, name, None)
                 sidecar_s = time.perf_counter() - sidecar_started
                 stored = _SidecarStub(value=stored, fields=sidecar_fields)
 
-            self._write_atomic(
-                path, lambda h: pickle.dump(stored, h, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+            raw = pickle.dumps(stored, protocol=pickle.HIGHEST_PROTOCOL)
+            manifest_files[path.name] = {
+                "sha256": hashlib.sha256(raw).hexdigest(),
+                "size": len(raw),
+            }
+            manifest = json.dumps(
+                {"format": CACHE_FORMAT_VERSION, "files": manifest_files},
+                sort_keys=True,
+            ).encode("utf-8")
+            self._write_atomic(self._manifest_path(path), lambda h: h.write(manifest))
+            self._write_atomic(path, lambda h: h.write(raw))
             self.stats.writes += 1
+            if faults.fire("cache.corrupt", key=stage):
+                # Chaos hook: bit-rot the entry we just published.  The
+                # truncated pickle no longer matches its manifest, so the
+                # next reader must quarantine it and recompute.
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(1, len(raw) // 2))
             if cache_span.active:
                 total_s = time.perf_counter() - started
                 cache_span.set(
@@ -285,14 +513,19 @@ class StageCache:
                 )
 
     @staticmethod
-    def _write_atomic(path: Path, write: Callable[[Any], None]) -> None:
-        """Write a file through a temporary + atomic ``os.replace``."""
+    def _write_atomic(path: Path, write: Callable[[Any], None]) -> Dict[str, Any]:
+        """Write a file through a temporary + atomic ``os.replace``.
+
+        Returns the ``{"sha256", "size"}`` record of the written bytes
+        (hashed in-flight through a proxy handle) for the entry manifest.
+        """
         descriptor, tmp_name = tempfile.mkstemp(
             prefix=path.stem, suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(descriptor, "wb") as handle:
-                write(handle)
+                hashing = _HashingHandle(handle)
+                write(hashing)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -300,6 +533,7 @@ class StageCache:
             except OSError:
                 pass
             raise
+        return {"sha256": hashing.sha256, "size": hashing.size}
 
     def get_or_compute(
         self, stage: str, payload: Any, compute: Callable[[], Any]
@@ -321,28 +555,33 @@ class StageCache:
     def clear(self, stage: Optional[str] = None) -> int:
         """Delete cached entries (one stage or everything).
 
-        Array sidecars are removed along with their entries; the returned
-        count is the number of *entries* (pickles) deleted.
+        Array sidecars, integrity manifests and quarantined files are
+        removed along with their entries; the returned count is the number
+        of *entries* (pickles) deleted.
         """
         base = self.root / stage if stage else self.root
         removed = 0
-        if not base.exists():
-            return removed
-        for path in sorted(base.rglob("*.pkl")):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for path in sorted(base.rglob("*.npy")):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        if base.exists():
+            for path in sorted(base.rglob("*.pkl")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for pattern in ("*.npy", "*.sum.json", "*.tmp"):
+                for path in sorted(base.rglob(pattern)):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        quarantine = self.root / QUARANTINE_DIR
+        if stage:
+            quarantine = quarantine / stage
+        shutil.rmtree(quarantine, ignore_errors=True)
         return removed
 
     def entry_count(self) -> int:
-        """Number of entries currently stored."""
+        """Number of (non-quarantined) entries currently stored."""
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
@@ -366,6 +605,7 @@ def resolve_cache(
                 enabled=False,
                 stats=cache.stats,
                 mmap_arrays=cache.mmap_arrays,
+                verify=cache.verify,
             )
         return cache
     if cache is None:

@@ -6,13 +6,27 @@ all four placement algorithms (and any future one registered through
 :func:`register_solver`) addressable by a plain string, which is what the
 scenario specifications, the batch runner, the CLI and the experiment
 drivers use to select a solver.
+
+Fallback chains
+---------------
+:func:`solve_with_fallback` runs a declarative degradation chain (e.g.
+``ilp -> greedy``): when a solver raises -- an infeasible ILP, a solver
+library crash, an injected transient fault -- or the chain's wall-clock
+budget runs out before an entry starts, the next (cheaper) solver in the
+chain is tried.  The result carries explicit provenance (``degraded``,
+``fallback_solver``, the abandoned attempts' errors) so reports and
+``campaign status`` always distinguish an exact answer from a best-effort
+one.  A remaining budget is threaded into the ILP's own ``time_limit_s``,
+so an exact solver degrades by *stopping*, not by being killed.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
+from .. import faults
 from ..core.exhaustive import ExhaustiveConfig, exhaustive_floorplan
 from ..core.greedy import GreedyConfig, greedy_floorplan
 from ..core.ilp import ILPConfig, ilp_floorplan
@@ -21,7 +35,7 @@ from ..core.problem import FloorplanProblem
 from ..core.suitability import SuitabilityMap
 from ..core.traditional import TraditionalConfig, traditional_floorplan
 from ..errors import ConfigurationError
-from ..telemetry import span
+from ..telemetry import span, trace_event
 
 
 @dataclass(frozen=True)
@@ -93,6 +107,9 @@ def solve(
     """Run the named solver on a problem instance."""
     solver_fn = get_solver(solver)
     with span(f"solver.{solver.lower()}", n_modules=problem.n_modules) as solver_span:
+        # Chaos hook: an armed ``solver.error`` injector raises here, inside
+        # the solver span, exactly where a real solver-library crash would.
+        faults.fire("solver.error", key=f"{problem.label}:{solver.lower()}")
         outcome = solver_fn(problem, dict(options or {}), suitability)
         if solver_span.active:
             solver_span.set(
@@ -104,6 +121,95 @@ def solve(
                 },
             )
         return outcome
+
+
+@dataclass(frozen=True)
+class FallbackOutcome:
+    """A solver-chain result with explicit degradation provenance.
+
+    ``degraded`` is True when the answer came from a fallback entry rather
+    than the configured solver; ``fallback_solver`` then names it, and
+    ``failures`` records why each abandoned entry was given up on (one
+    human-readable line per attempt), so a best-effort point can never
+    masquerade as an exact one.
+    """
+
+    outcome: SolverOutcome
+    degraded: bool = False
+    fallback_solver: Optional[str] = None
+    failures: Tuple[str, ...] = ()
+
+
+def solve_with_fallback(
+    problem: FloorplanProblem,
+    solver: str = "greedy",
+    options: Optional[Mapping[str, Any]] = None,
+    suitability: Optional[SuitabilityMap] = None,
+    fallback: Sequence[str] = (),
+    budget_s: Optional[float] = None,
+) -> FallbackOutcome:
+    """Run a solver chain, degrading to cheaper entries on error or budget.
+
+    Parameters
+    ----------
+    solver / options:
+        The configured (primary) solver and its options.  Fallback entries
+        run with empty options -- their configuration cannot be implied
+        from the primary's.
+    fallback:
+        Solver names tried in order after the primary fails.
+    budget_s:
+        Wall-clock budget over the whole chain.  An entry whose turn comes
+        after the budget is exhausted is skipped (the *last* entry always
+        runs -- graceful degradation must produce an answer), and the
+        remaining budget is threaded into the ILP's ``time_limit_s`` so an
+        exact solve stops at the boundary instead of overshooting it.
+
+    Raises the last entry's error when every entry fails; a
+    :class:`~repro.errors.ConfigurationError` (unknown solver, bad
+    options) always propagates immediately -- a typo must fail loudly,
+    not silently degrade.
+    """
+    chain = [solver, *fallback]
+    failures: list = []
+    start = time.perf_counter()
+    for position, name in enumerate(chain):
+        get_solver(name)  # unknown names fail loudly even mid-chain
+        last = position == len(chain) - 1
+        opts = dict(options or {}) if position == 0 else {}
+        if budget_s is not None:
+            remaining = budget_s - (time.perf_counter() - start)
+            if remaining <= 0 and not last:
+                failures.append(
+                    f"{name}: skipped (chain budget {budget_s:g}s exhausted)"
+                )
+                continue
+            if name.lower() == "ilp" and remaining > 0:
+                opts.setdefault("time_limit_s", max(remaining, 0.1))
+        try:
+            outcome = solve(problem, name, opts, suitability)
+        except ConfigurationError:
+            raise
+        except Exception as exc:
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+            if last:
+                raise
+            trace_event(
+                "solver.fallback",
+                solver=name,
+                next=chain[position + 1],
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        return FallbackOutcome(
+            outcome=outcome,
+            degraded=position > 0,
+            fallback_solver=name if position > 0 else None,
+            failures=tuple(failures),
+        )
+    raise ConfigurationError(
+        f"solver chain {chain!r} produced no outcome"
+    )  # pragma: no cover - unreachable: the last entry returns or raises
 
 
 def _build_config(config_cls, options: Mapping[str, Any], solver: str):

@@ -47,7 +47,7 @@ from ..solar.time_series import TimeGrid
 from ..telemetry import span
 from ..weather.records import WeatherSeries
 from .cache import CACHE_FORMAT_VERSION, StageCache, content_digest, resolve_cache
-from .solvers import SolverOutcome, solve
+from .solvers import SolverOutcome, solve, solve_with_fallback
 
 #: Stage names used both as cache sub-directories and as keys of the
 #: per-scenario ``stage_cached`` provenance map.
@@ -353,6 +353,14 @@ class ScenarioResult:
     solver_info: Dict[str, Any] = field(default_factory=dict)
     placement: Dict[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
+    #: Degradation provenance: True when the configured solver failed (or
+    #: blew its budget) and ``fallback_solver`` produced this best-effort
+    #: answer instead; ``degradation_reason`` records why, one line per
+    #: abandoned chain entry.  ``solver`` always names the *configured*
+    #: solver so report joins stay stable.
+    degraded: bool = False
+    fallback_solver: Optional[str] = None
+    degradation_reason: Optional[str] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable record (one JSONL line)."""
@@ -374,6 +382,9 @@ class ScenarioResult:
             "solver_info": dict(self.solver_info),
             "placement": dict(self.placement),
             "tags": list(self.tags),
+            "degraded": self.degraded,
+            "fallback_solver": self.fallback_solver,
+            "degradation_reason": self.degradation_reason,
         }
 
     @classmethod
@@ -399,6 +410,9 @@ class ScenarioResult:
             solver_info=dict(data.get("solver_info", {})),
             placement=dict(data.get("placement", {})),
             tags=tuple(data.get("tags", [])),
+            degraded=bool(data.get("degraded", False)),
+            fallback_solver=data.get("fallback_solver"),
+            degradation_reason=data.get("degradation_reason"),
         )
 
     def fingerprint(self) -> dict:
@@ -426,8 +440,11 @@ class ScenarioResult:
         """Short human-readable summary line."""
         cached = [name for name, hit in self.stage_cached.items() if hit]
         cache_note = f" [cached: {', '.join(cached)}]" if cached else ""
+        degraded_note = (
+            f" [degraded -> {self.fallback_solver}]" if self.degraded else ""
+        )
         return (
-            f"{self.scenario}: solver={self.solver} N={self.n_modules} "
+            f"{self.scenario}: solver={self.solver}{degraded_note} N={self.n_modules} "
             f"Ng={self.n_valid_cells} energy={self.annual_energy_mwh:.3f} MWh/y "
             f"(baseline {self.baseline_energy_mwh:.3f}, "
             f"{self.improvement_percent:+.2f} %) in {self.runtime_s:.2f}s{cache_note}"
@@ -503,8 +520,20 @@ def run_scenario(
             stage_span.set(cached=stage_cached[STAGE_SUITABILITY])
 
         with _timed_stage(STAGE_SOLVE, stage_times):
-            outcome = solve(problem, spec.solver.name, spec.solver.options, suitability)
-            if spec.solver.name == "traditional" and not spec.solver.options:
+            chain = solve_with_fallback(
+                problem,
+                spec.solver.name,
+                spec.solver.options,
+                suitability,
+                fallback=spec.solver.fallback,
+                budget_s=spec.solver.budget_s,
+            )
+            outcome = chain.outcome
+            if (
+                spec.solver.name == "traditional"
+                and not spec.solver.options
+                and not chain.degraded
+            ):
                 baseline: SolverOutcome = outcome
             else:
                 baseline = solve(problem, "traditional", {}, suitability)
@@ -540,4 +569,7 @@ def run_scenario(
         solver_info=dict(outcome.info),
         placement=placement_to_dict(outcome.placement),
         tags=spec.tags,
+        degraded=chain.degraded,
+        fallback_solver=chain.fallback_solver,
+        degradation_reason="; ".join(chain.failures) if chain.failures else None,
     )

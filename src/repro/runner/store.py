@@ -10,11 +10,23 @@ plus the scenario's stage-cache content digest
 ``status``
     ``pending`` (enrolled, not started), ``running`` (claimed by the
     current run), ``done`` (payload holds the full
-    :class:`~repro.runner.stages.ScenarioResult` record) or ``failed``
-    (``error`` holds the wrapped worker traceback).
+    :class:`~repro.runner.stages.ScenarioResult` record), ``failed``
+    (``error`` holds the wrapped worker traceback) or ``timed_out`` (the
+    point exceeded its wall-clock budget and the watchdog reclaimed it).
 ``attempts`` / ``wall_time_s`` / ``error``
     Per-point accounting: how often the point was started, how long the
     successful run took, and the last failure text.
+``lease_owner`` / ``heartbeat_ts``
+    Liveness of ``running`` rows: which driver (``host:pid``) claimed the
+    point and when that driver last proved it was still alive.  A row whose
+    heartbeat goes stale is *reclaimed* -- flipped to ``failed`` so it
+    retries -- both at enroll time and periodically during execution
+    (:meth:`ResultStore.reclaim_stale`), the groundwork for the ROADMAP's
+    multi-host campaign execution.
+``degraded`` / ``fallback_solver``
+    Result provenance mirrored out of the ``done`` payload: whether the
+    point's configured solver failed and a fallback chain produced a
+    best-effort answer instead, queryable without parsing result JSON.
 ``spec``
     The point's full declarative :class:`~repro.scenario.ScenarioSpec`
     dictionary, so ``repro campaign resume`` can rebuild the work list from
@@ -22,22 +34,27 @@ plus the scenario's stage-cache content digest
 
 The store is written only by the parent (campaign-driving) process; worker
 processes never touch it, which keeps the SQLite access single-writer and
-makes a worker death unable to corrupt campaign state.  ``export`` renders
-the ``done`` rows through the existing JSONL writer, byte-for-byte
-compatible with :func:`~repro.runner.batch.write_results_jsonl`, so every
-downstream consumer (sweep aggregation, reports) works unchanged.
+makes a worker death unable to corrupt campaign state.  Writes retry with
+exponential backoff on transient ``sqlite3.OperationalError`` (a locked
+database), and ``repro campaign doctor`` audits/repairs a store that was
+hit by crashes anyway.  ``export`` renders the ``done`` rows through the
+existing JSONL writer, byte-for-byte compatible with
+:func:`~repro.runner.batch.write_results_jsonl`, so every downstream
+consumer (sweep aggregation, reports) works unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import sqlite3
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..errors import ConfigurationError
 from ..scenario.spec import ScenarioSpec
 from ..telemetry import MetricStats, span
@@ -47,16 +64,23 @@ from .stages import ScenarioResult, scenario_content_digest
 #: Environment variable overriding the default store location.
 STORE_PATH_ENV = "REPRO_STORE_PATH"
 
-#: Bump when the table layout changes; old stores are rejected, not migrated.
-STORE_SCHEMA_VERSION = 1
+#: Bump when the table layout changes.  Version 2 (lease/heartbeat +
+#: degradation provenance columns) migrates version-1 stores in place;
+#: anything newer than the build is rejected.
+STORE_SCHEMA_VERSION = 2
 
 #: Row lifecycle states.
 STATUS_PENDING = "pending"
 STATUS_RUNNING = "running"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+STATUS_TIMED_OUT = "timed_out"
 
-_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED, STATUS_TIMED_OUT)
+
+#: Transient-write retry policy: attempts and first backoff (doubled per try).
+WRITE_RETRIES = 5
+WRITE_RETRY_BACKOFF_S = 0.05
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -76,6 +100,10 @@ CREATE TABLE IF NOT EXISTS points (
     result TEXT,
     created_at REAL NOT NULL,
     updated_at REAL NOT NULL,
+    lease_owner TEXT,
+    heartbeat_ts REAL,
+    degraded INTEGER NOT NULL DEFAULT 0,
+    fallback_solver TEXT,
     PRIMARY KEY (campaign, digest)
 );
 CREATE INDEX IF NOT EXISTS idx_points_status ON points (campaign, status);
@@ -117,6 +145,11 @@ def default_store_path() -> Path:
     return default_cache_dir() / "campaigns.sqlite"
 
 
+def default_lease_owner() -> str:
+    """The ``host:pid`` identity this driver writes into ``lease_owner``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 @dataclass(frozen=True)
 class PointRecord:
     """One campaign point as stored (immutable snapshot of a row)."""
@@ -133,6 +166,10 @@ class PointRecord:
     result_dict: Optional[Mapping[str, Any]]
     created_at: float
     updated_at: float
+    lease_owner: Optional[str] = None
+    heartbeat_ts: Optional[float] = None
+    degraded: bool = False
+    fallback_solver: Optional[str] = None
 
     def spec(self) -> ScenarioSpec:
         """Rebuild the point's declarative scenario."""
@@ -155,7 +192,11 @@ class CampaignSummary:
     ``computed`` the points executed by *this* invocation, ``skipped`` the
     points whose stored result was reused, ``failed`` the points still
     failed after retries, and ``retried`` the number of retry attempts this
-    invocation performed.  ``stage_hits`` / ``stage_recomputes`` aggregate
+    invocation performed.  ``timed_out`` counts points whose wall-clock
+    budget expired (terminal state after retries), ``degraded`` the done
+    points whose answer came from a fallback solver rather than the
+    configured one, and ``reclaimed`` the stale running rows this run took
+    over from a dead driver.  ``stage_hits`` / ``stage_recomputes`` aggregate
     the stage-cache provenance of the computed points only, so a resume
     proves it recomputed exactly the missing work; ``stage_hit_time_s`` /
     ``stage_recompute_time_s`` carry the same split in wall-clock seconds,
@@ -169,6 +210,9 @@ class CampaignSummary:
     skipped: int = 0
     failed: int = 0
     retried: int = 0
+    timed_out: int = 0
+    degraded: int = 0
+    reclaimed: int = 0
     stage_hits: Dict[str, int] = field(default_factory=dict)
     stage_recomputes: Dict[str, int] = field(default_factory=dict)
     stage_hit_time_s: Dict[str, float] = field(default_factory=dict)
@@ -183,6 +227,9 @@ class CampaignSummary:
             "skipped": self.skipped,
             "failed": self.failed,
             "retried": self.retried,
+            "timed_out": self.timed_out,
+            "degraded": self.degraded,
+            "reclaimed": self.reclaimed,
             "stage_hits": dict(self.stage_hits),
             "stage_recomputes": dict(self.stage_recomputes),
             "stage_hit_time_s": dict(self.stage_hit_time_s),
@@ -200,6 +247,9 @@ class CampaignSummary:
                 skipped=int(data.get("skipped", 0)),
                 failed=int(data.get("failed", 0)),
                 retried=int(data.get("retried", 0)),
+                timed_out=int(data.get("timed_out", 0)),
+                degraded=int(data.get("degraded", 0)),
+                reclaimed=int(data.get("reclaimed", 0)),
                 stage_hits={str(k): int(v) for k, v in data.get("stage_hits", {}).items()},
                 stage_recomputes={
                     str(k): int(v) for k, v in data.get("stage_recomputes", {}).items()
@@ -216,11 +266,24 @@ class CampaignSummary:
             raise ConfigurationError(f"malformed campaign summary: {exc}") from exc
 
     def report(self) -> str:
-        """One-line human-readable summary."""
+        """One-line human-readable summary.
+
+        The ``computed/skipped/failed/retried`` prefix is stable (CI greps
+        it); the robustness counters are appended only when nonzero.
+        """
+        extras = "".join(
+            f", {label} {value}"
+            for label, value in (
+                ("timed_out", self.timed_out),
+                ("degraded", self.degraded),
+                ("reclaimed", self.reclaimed),
+            )
+            if value
+        )
         return (
             f"campaign {self.campaign!r}: {self.done}/{self.n_points} done "
             f"(computed {self.computed}, skipped {self.skipped}, "
-            f"failed {self.failed}, retried {self.retried})"
+            f"failed {self.failed}, retried {self.retried}{extras})"
         )
 
 
@@ -267,6 +330,24 @@ class ResultStore:
             if row is None:
                 self._conn.execute(
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            elif int(row["value"]) == 1:
+                # In-place v1 -> v2 migration: the new columns are purely
+                # additive (lease/heartbeat liveness, degradation
+                # provenance), so existing campaign state survives verbatim.
+                for column in (
+                    "lease_owner TEXT",
+                    "heartbeat_ts REAL",
+                    "degraded INTEGER NOT NULL DEFAULT 0",
+                    "fallback_solver TEXT",
+                ):
+                    try:
+                        self._conn.execute(f"ALTER TABLE points ADD COLUMN {column}")
+                    except sqlite3.OperationalError:
+                        pass  # column already present (interrupted migration)
+                self._conn.execute(
+                    "UPDATE meta SET value=? WHERE key='schema_version'",
                     (str(STORE_SCHEMA_VERSION),),
                 )
             elif int(row["value"]) != STORE_SCHEMA_VERSION:
@@ -341,34 +422,98 @@ class ResultStore:
 
     # -- state transitions --------------------------------------------------------
 
+    def _write(self, operate: Callable[[sqlite3.Connection], Any], key: str = "") -> Any:
+        """Run one write transaction with transient-error retries.
+
+        A locked database (another process checkpointing the WAL, a flaky
+        network filesystem) surfaces as ``sqlite3.OperationalError``; the
+        write retries with exponential backoff before giving up.  The
+        ``store.io`` fault site injects exactly that error to prove the
+        retries absorb it.
+        """
+        delay = WRITE_RETRY_BACKOFF_S
+        last_error: Optional[BaseException] = None
+        for attempt in range(WRITE_RETRIES):
+            try:
+                faults.fire("store.io", key=key)
+                with self._conn:
+                    return operate(self._conn)
+            except sqlite3.OperationalError as exc:
+                last_error = exc
+                if attempt + 1 < WRITE_RETRIES:
+                    time.sleep(delay)
+                    delay *= 2
+        raise ConfigurationError(
+            f"result store write failed after {WRITE_RETRIES} attempts: {last_error}"
+        ) from last_error
+
     def _touch(self, campaign: str, digest: str, **updates: Any) -> None:
         updates["updated_at"] = time.time()
         columns = ", ".join(f"{name}=?" for name in updates)
-        with self._conn:
-            cursor = self._conn.execute(
+        cursor = self._write(
+            lambda conn: conn.execute(
                 f"UPDATE points SET {columns} WHERE campaign=? AND digest=?",
                 (*updates.values(), campaign, digest),
-            )
+            ),
+            key=campaign,
+        )
         if cursor.rowcount == 0:
             raise ConfigurationError(
                 f"campaign {campaign!r} has no point with digest {digest[:12]}..."
             )
 
-    def mark_running(self, campaign: str, digest: str) -> None:
-        """Claim a point for execution (increments its attempt count)."""
-        with self._conn:
-            cursor = self._conn.execute(
+    def mark_running(
+        self, campaign: str, digest: str, lease_owner: Optional[str] = None
+    ) -> None:
+        """Claim a point for execution (increments its attempt count).
+
+        Stamps the claiming driver's identity and a fresh heartbeat so the
+        row's liveness is observable (:meth:`heartbeat`,
+        :meth:`reclaim_stale`).
+        """
+        now = time.time()
+        owner = lease_owner if lease_owner is not None else default_lease_owner()
+        cursor = self._write(
+            lambda conn: conn.execute(
                 """
                 UPDATE points
-                SET status=?, attempts=attempts + 1, error=NULL, updated_at=?
+                SET status=?, attempts=attempts + 1, error=NULL,
+                    lease_owner=?, heartbeat_ts=?, updated_at=?
                 WHERE campaign=? AND digest=?
                 """,
-                (STATUS_RUNNING, time.time(), campaign, digest),
-            )
+                (STATUS_RUNNING, owner, now, now, campaign, digest),
+            ),
+            key=campaign,
+        )
         if cursor.rowcount == 0:
             raise ConfigurationError(
                 f"campaign {campaign!r} has no point with digest {digest[:12]}..."
             )
+
+    def heartbeat(self, campaign: str, digests: Sequence[str]) -> int:
+        """Refresh the heartbeat of this driver's in-flight ``running`` rows.
+
+        Returns the number of rows touched.  Called periodically by the
+        campaign driver so its claims never look stale to
+        :meth:`reclaim_stale` (its own or a sibling driver's).
+        """
+        digests = list(digests)
+        if not digests:
+            return 0
+        now = time.time()
+        placeholders = ",".join("?" for _ in digests)
+        cursor = self._write(
+            lambda conn: conn.execute(
+                f"""
+                UPDATE points
+                SET heartbeat_ts=?
+                WHERE campaign=? AND status='running' AND digest IN ({placeholders})
+                """,
+                (now, campaign, *digests),
+            ),
+            key=campaign,
+        )
+        return cursor.rowcount
 
     def mark_done(
         self,
@@ -377,7 +522,12 @@ class ResultStore:
         result: Union[ScenarioResult, Mapping[str, Any]],
         wall_time_s: Optional[float] = None,
     ) -> None:
-        """Record a completed point with its full result payload."""
+        """Record a completed point with its full result payload.
+
+        The result's degradation provenance (``degraded`` /
+        ``fallback_solver``) is mirrored into dedicated columns so status
+        queries need not parse result JSON.
+        """
         record = result.to_dict() if isinstance(result, ScenarioResult) else dict(result)
         with span("store.mark_done", campaign=campaign):
             self._touch(
@@ -387,12 +537,35 @@ class ResultStore:
                 result=json.dumps(record, sort_keys=True),
                 wall_time_s=wall_time_s,
                 error=None,
+                lease_owner=None,
+                heartbeat_ts=None,
+                degraded=1 if record.get("degraded") else 0,
+                fallback_solver=record.get("fallback_solver"),
             )
 
     def mark_failed(self, campaign: str, digest: str, error: str) -> None:
         """Record a failed attempt with the wrapped worker error text."""
         with span("store.mark_failed", campaign=campaign):
-            self._touch(campaign, digest, status=STATUS_FAILED, error=str(error))
+            self._touch(
+                campaign,
+                digest,
+                status=STATUS_FAILED,
+                error=str(error),
+                lease_owner=None,
+                heartbeat_ts=None,
+            )
+
+    def mark_timed_out(self, campaign: str, digest: str, error: str) -> None:
+        """Record a point whose wall-clock budget expired (watchdog kill)."""
+        with span("store.mark_timed_out", campaign=campaign):
+            self._touch(
+                campaign,
+                digest,
+                status=STATUS_TIMED_OUT,
+                error=str(error),
+                lease_owner=None,
+                heartbeat_ts=None,
+            )
 
     def reset_running(self, campaign: str) -> int:
         """Fail rows stuck in ``running`` (a previous driver died mid-run).
@@ -401,19 +574,66 @@ class ResultStore:
         (not ``pending``) so the interruption stays auditable in ``error``;
         the campaign runner re-attempts failed rows on resume anyway.
         """
-        now = time.time()
-        with self._conn:
-            cursor = self._conn.execute(
+        cursor = self._write(
+            lambda conn: conn.execute(
                 """
                 UPDATE points
                 SET status='failed',
                     error='interrupted: driver exited while the point was running',
-                    updated_at=?
+                    lease_owner=NULL, heartbeat_ts=NULL, updated_at=?
                 WHERE campaign=? AND status='running'
                 """,
-                (now, campaign),
-            )
+                (time.time(), campaign),
+            ),
+            key=campaign,
+        )
         return cursor.rowcount
+
+    def reclaim_stale(
+        self, campaign: str, stale_after_s: float, now: Optional[float] = None
+    ) -> List[str]:
+        """Reclaim ``running`` rows whose heartbeat went stale.
+
+        A row whose last proof of life (``heartbeat_ts``, falling back to
+        ``updated_at`` for pre-heartbeat rows) is older than
+        ``stale_after_s`` belonged to a driver that died; it is flipped to
+        ``failed`` with an auditable ``interrupted: stale lease`` error so
+        the normal retry/resume machinery picks it up.  Returns the
+        reclaimed digests so an in-flight driver can re-enqueue the ones
+        belonging to its fleet within the same run.
+        """
+        now = time.time() if now is None else now
+        cutoff = now - stale_after_s
+
+        def operate(conn: sqlite3.Connection) -> List[str]:
+            rows = conn.execute(
+                """
+                SELECT digest, lease_owner FROM points
+                WHERE campaign=? AND status='running'
+                  AND COALESCE(heartbeat_ts, updated_at) < ?
+                """,
+                (campaign, cutoff),
+            ).fetchall()
+            for row in rows:
+                owner = row["lease_owner"] or "unknown driver"
+                conn.execute(
+                    """
+                    UPDATE points
+                    SET status='failed', error=?, lease_owner=NULL,
+                        heartbeat_ts=NULL, updated_at=?
+                    WHERE campaign=? AND digest=?
+                    """,
+                    (
+                        "interrupted: stale lease reclaimed "
+                        f"(no heartbeat from {owner} for > {stale_after_s:g}s)",
+                        now,
+                        campaign,
+                        row["digest"],
+                    ),
+                )
+            return [row["digest"] for row in rows]
+
+        return self._write(operate, key=campaign)
 
     # -- queries ------------------------------------------------------------------
 
@@ -432,6 +652,12 @@ class ResultStore:
             result_dict=None if row["result"] is None else json.loads(row["result"]),
             created_at=float(row["created_at"]),
             updated_at=float(row["updated_at"]),
+            lease_owner=row["lease_owner"],
+            heartbeat_ts=(
+                None if row["heartbeat_ts"] is None else float(row["heartbeat_ts"])
+            ),
+            degraded=bool(row["degraded"]),
+            fallback_solver=row["fallback_solver"],
         )
 
     def point(self, campaign: str, digest: str) -> PointRecord:
@@ -487,6 +713,132 @@ class ResultStore:
     def results(self, campaign: str) -> List[ScenarioResult]:
         """The ``done`` results of a campaign, in enrollment order."""
         return [record.result() for record in self.points(campaign, STATUS_DONE)]
+
+    # -- doctor -------------------------------------------------------------------
+
+    def integrity_report(
+        self, campaign: Optional[str] = None, stale_after_s: float = 300.0
+    ) -> Dict[str, Any]:
+        """Audit the store for corruption and liveness anomalies.
+
+        Checks, without modifying anything:
+
+        * SQLite's own ``PRAGMA integrity_check``,
+        * ``done`` rows whose result payload is missing or not valid JSON,
+        * rows whose spec payload is not valid JSON,
+        * ``running`` rows whose heartbeat is older than ``stale_after_s``
+          (orphaned leases of dead drivers).
+
+        Returns a report dict whose ``issues`` list is empty for a healthy
+        store; :meth:`repair` fixes everything listed.
+        """
+        sqlite_ok = True
+        try:
+            rows = self._conn.execute("PRAGMA integrity_check").fetchall()
+            sqlite_ok = len(rows) == 1 and rows[0][0] == "ok"
+        except sqlite3.DatabaseError:
+            sqlite_ok = False
+
+        where = "" if campaign is None else " AND campaign=?"
+        params: Tuple[Any, ...] = () if campaign is None else (campaign,)
+
+        corrupt_results: List[Tuple[str, str]] = []
+        corrupt_specs: List[Tuple[str, str]] = []
+        for row in self._conn.execute(
+            f"SELECT campaign, digest, name, status, spec, result FROM points "
+            f"WHERE 1=1{where}",
+            params,
+        ):
+            try:
+                json.loads(row["spec"])
+            except (TypeError, ValueError):
+                corrupt_specs.append((row["campaign"], row["digest"]))
+            if row["status"] == STATUS_DONE:
+                try:
+                    payload = json.loads(row["result"])
+                    if not isinstance(payload, dict):
+                        raise ValueError("result payload is not an object")
+                except (TypeError, ValueError):
+                    corrupt_results.append((row["campaign"], row["digest"]))
+
+        cutoff = time.time() - stale_after_s
+        stale_rows = self._conn.execute(
+            f"""
+            SELECT campaign, digest FROM points
+            WHERE status='running' AND COALESCE(heartbeat_ts, updated_at) < ?{where}
+            """,
+            (cutoff, *params),
+        ).fetchall()
+        stale = [(row["campaign"], row["digest"]) for row in stale_rows]
+
+        issues: List[str] = []
+        if not sqlite_ok:
+            issues.append("sqlite integrity_check failed")
+        if corrupt_specs:
+            issues.append(f"{len(corrupt_specs)} row(s) with corrupt spec JSON")
+        if corrupt_results:
+            issues.append(f"{len(corrupt_results)} done row(s) with corrupt result JSON")
+        if stale:
+            issues.append(f"{len(stale)} stale running row(s) (dead driver lease)")
+        return {
+            "path": str(self.path),
+            "schema_version": STORE_SCHEMA_VERSION,
+            "sqlite_ok": sqlite_ok,
+            "corrupt_specs": corrupt_specs,
+            "corrupt_results": corrupt_results,
+            "stale_running": stale,
+            "issues": issues,
+        }
+
+    def repair(
+        self, campaign: Optional[str] = None, stale_after_s: float = 300.0
+    ) -> Dict[str, int]:
+        """Fix what :meth:`integrity_report` found; returns repair counts.
+
+        ``done`` rows with corrupt result payloads and stale ``running``
+        rows are demoted to ``failed`` with an auditable error text, so the
+        normal resume machinery recomputes them; rows with corrupt *spec*
+        payloads cannot be recomputed (the work definition itself is gone)
+        and are deleted.
+        """
+        report = self.integrity_report(campaign, stale_after_s=stale_after_s)
+        now = time.time()
+
+        def operate(conn: sqlite3.Connection) -> None:
+            for camp, digest in report["corrupt_results"]:
+                conn.execute(
+                    """
+                    UPDATE points
+                    SET status='failed', result=NULL,
+                        error='doctor: corrupt result payload discarded',
+                        lease_owner=NULL, heartbeat_ts=NULL,
+                        degraded=0, fallback_solver=NULL, updated_at=?
+                    WHERE campaign=? AND digest=?
+                    """,
+                    (now, camp, digest),
+                )
+            for camp, digest in report["stale_running"]:
+                conn.execute(
+                    """
+                    UPDATE points
+                    SET status='failed',
+                        error='interrupted: stale lease reclaimed by doctor',
+                        lease_owner=NULL, heartbeat_ts=NULL, updated_at=?
+                    WHERE campaign=? AND digest=?
+                    """,
+                    (now, camp, digest),
+                )
+            for camp, digest in report["corrupt_specs"]:
+                conn.execute(
+                    "DELETE FROM points WHERE campaign=? AND digest=?", (camp, digest)
+                )
+
+        self._write(operate, key=campaign or "")
+        return {
+            "results_discarded": len(report["corrupt_results"]),
+            "stale_reclaimed": len(report["stale_running"]),
+            "specs_deleted": len(report["corrupt_specs"]),
+        }
 
     # -- metrics ------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..constants import DEFAULT_GRID_PITCH, TURIN_LATITUDE, TURIN_LONGITUDE
 from ..errors import ConfigurationError
@@ -315,19 +315,36 @@ class SolverSpec:
     ``name`` must resolve in the :mod:`repro.runner.solvers` registry
     (``greedy``, ``traditional``, ``ilp``, ``exhaustive`` out of the box);
     ``options`` is forwarded to the solver's config dataclass.
+
+    ``fallback`` names cheaper solvers tried in order when the configured
+    one raises or the chain's wall-clock ``budget_s`` runs out (see
+    :func:`repro.runner.solvers.solve_with_fallback`); results produced by
+    a fallback entry are flagged ``degraded``.  Both fields serialise only
+    when set, so scenarios without a chain keep their dictionary form --
+    and therefore their content digests -- unchanged.
     """
 
     name: str = "greedy"
     options: Mapping[str, Any] = field(default_factory=dict)
+    fallback: Tuple[str, ...] = ()
+    budget_s: Optional[float] = None
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "options": dict(self.options)}
+        data: Dict[str, Any] = {"name": self.name, "options": dict(self.options)}
+        if self.fallback:
+            data["fallback"] = list(self.fallback)
+        if self.budget_s is not None:
+            data["budget_s"] = self.budget_s
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolverSpec":
+        budget = data.get("budget_s")
         return cls(
             name=str(data.get("name", "greedy")),
             options=dict(data.get("options", {})),
+            fallback=tuple(str(name) for name in data.get("fallback", [])),
+            budget_s=None if budget is None else float(budget),
         )
 
 
@@ -392,8 +409,13 @@ def _assign_override(data: dict, path: str, value: Any) -> None:
             )
         node = child
     leaf = parts[-1]
-    # New keys are only allowed where the schema is free-form by design.
-    free_form = len(parts) >= 2 and parts[-2] == "options"
+    # New keys are only allowed where the schema is free-form by design --
+    # plus the optional solver-chain fields, which serialise only when set
+    # and are therefore usually absent from the dictionary being overridden.
+    free_form = len(parts) >= 2 and (
+        parts[-2] == "options"
+        or (parts[-2] == "solver" and leaf in ("fallback", "budget_s"))
+    )
     if leaf not in node and not free_form:
         known = ", ".join(sorted(node))
         raise ConfigurationError(

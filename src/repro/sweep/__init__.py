@@ -72,6 +72,8 @@ def run_sweep(
     store: Union[ResultStore, PathLike, None] = None,
     campaign: Optional[str] = None,
     retries: int = 0,
+    timeout_s: Optional[float] = None,
+    retry_backoff_s: float = 0.0,
 ) -> SweepResult:
     """Expand a sweep plan and execute every point through the batch runner.
 
@@ -101,6 +103,12 @@ def run_sweep(
         :attr:`SweepPlan.campaign_name` (``sweep:<plan name>``).
     retries:
         Per-point retry budget for store-backed sweeps.
+    timeout_s:
+        Per-point wall-clock budget forwarded to the batch runner's
+        watchdog; ``None`` falls back to the plan's own ``timeout_s``.
+    retry_backoff_s:
+        Base delay between retry attempts of one point (exponential with
+        deterministic jitter); ``0`` retries immediately.
 
     Returns
     -------
@@ -118,6 +126,7 @@ def run_sweep(
         raise on the first failing point, like :func:`repro.runner.run_batch`.
     """
     points = plan.points()
+    effective_timeout = timeout_s if timeout_s is not None else plan.timeout_s
     with span("sweep", plan=plan.name, n_points=len(points)):
         batch = run_batch(
             [point.spec for point in points],
@@ -129,16 +138,22 @@ def run_sweep(
             store=store,
             campaign=campaign if campaign else plan.campaign_name,
             retries=retries,
+            timeout_s=effective_timeout,
+            retry_backoff_s=retry_backoff_s,
         )
-    if batch.campaign is not None and batch.campaign.failed:
-        failed = [
+    summary = batch.campaign
+    if summary is not None and (summary.failed or summary.timed_out):
+        missing = [
             point.name
             for point in points
             if point.name not in {result.scenario for result in batch.results}
         ]
+        counts = f"{summary.failed} point(s) failed"
+        if summary.timed_out:
+            counts += f", {summary.timed_out} timed out"
         raise ScenarioExecutionError(
-            f"sweep {plan.name!r}: {batch.campaign.failed} point(s) failed "
-            f"({', '.join(failed[:5])}{', ...' if len(failed) > 5 else ''}); "
+            f"sweep {plan.name!r}: {counts} "
+            f"({', '.join(missing[:5])}{', ...' if len(missing) > 5 else ''}); "
             "the store keeps their failure rows -- fix the cause and re-run "
             "to resume exactly the missing points"
         )

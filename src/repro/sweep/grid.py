@@ -157,6 +157,10 @@ class SweepPlan:
     axes: Tuple[SweepAxis, ...]
     mode: str = "grid"
     description: str = ""
+    #: Per-point wall-clock budget (seconds) applied when the plan runs;
+    #: ``None`` leaves points unbounded.  A ``--timeout`` on the CLI (or the
+    #: ``timeout_s`` argument of :func:`repro.sweep.run_sweep`) overrides it.
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -166,6 +170,8 @@ class SweepPlan:
             raise ConfigurationError("a sweep plan needs at least one axis")
         if self.mode not in ("grid", "zip"):
             raise ConfigurationError(f"unknown sweep mode {self.mode!r}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("sweep plan timeout_s must be > 0 when set")
         keys = [axis.key for axis in self.axes]
         if len(set(keys)) != len(keys):
             raise ConfigurationError(f"sweep axis keys must be unique, got {keys}")
@@ -242,7 +248,7 @@ class SweepPlan:
     # -- (de)serialisation ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format_version": SWEEP_FORMAT_VERSION,
             "name": self.name,
             "mode": self.mode,
@@ -250,6 +256,11 @@ class SweepPlan:
             "base": self.base.to_dict(),
             "axes": [axis.to_dict() for axis in self.axes],
         }
+        # Emitted only when set: plans without a budget keep serialising
+        # byte-for-byte as before.
+        if self.timeout_s is not None:
+            data["timeout_s"] = self.timeout_s
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepPlan":
@@ -257,14 +268,16 @@ class SweepPlan:
         if version != SWEEP_FORMAT_VERSION:
             raise ConfigurationError(f"unsupported sweep format version {version}")
         try:
+            timeout_s = data.get("timeout_s")
             return cls(
                 name=str(data["name"]),
                 base=ScenarioSpec.from_dict(data["base"]),
                 axes=tuple(SweepAxis.from_dict(axis) for axis in data["axes"]),
                 mode=str(data.get("mode", "grid")),
                 description=str(data.get("description", "")),
+                timeout_s=None if timeout_s is None else float(timeout_s),
             )
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed sweep plan: {exc}") from exc
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -37,6 +37,23 @@ def isolated_campaign_store(tmp_path, monkeypatch):
 
 
 @pytest.fixture(autouse=True)
+def isolated_faults(monkeypatch):
+    """Keep fault-injection state out of (and between) tests.
+
+    A developer's ``REPRO_FAULTS`` must not arm chaos in the suite, and a
+    chaos test that arms a plan in-process must not leave spent (or live!)
+    injectors behind for later tests.
+    """
+    from repro import faults
+
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture(autouse=True)
 def isolated_telemetry(monkeypatch):
     """Keep tracing and log-level state out of (and between) tests.
 

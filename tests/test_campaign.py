@@ -292,7 +292,7 @@ class TestCampaignRun:
             class SuddenDeathExecutor:
                 """In-process stand-in whose 'worker' dies for one point."""
 
-                def __init__(self, max_workers):
+                def __init__(self, max_workers, initializer=None):
                     self.max_workers = max_workers
 
                 def submit(self, fn, payload):
