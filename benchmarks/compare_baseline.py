@@ -8,9 +8,13 @@ CI's scheduled/dispatched bench job runs the suite with
    any benchmark regressed by more than ``--tolerance`` (default 25 %),
 2. prints a Markdown delta table (and appends it to ``--summary``, which CI
    points at ``$GITHUB_STEP_SUMMARY`` so the table lands in the job page),
-3. writes a trajectory point (``--trajectory BENCH_<run>.json``) holding the
-   run's medians plus commit metadata, archived as an artifact so the
-   benchmark history accumulates run over run.
+3. writes a trajectory point (``BENCH_<run>.json``) holding the run's
+   medians plus commit metadata, archived as an artifact so the benchmark
+   history accumulates run over run.  When ``--trajectory`` is omitted the
+   point is written next to the timings file as ``BENCH_<run_id>.json``
+   (``$GITHUB_RUN_ID``, or a local timestamp outside CI) -- local runs
+   accumulate history too instead of silently writing nothing.  Pass
+   ``--no-trajectory`` to opt out.
 
 Benchmarks absent from the baseline are reported as *new* (never failing);
 baseline entries missing from the run are reported as *removed*.  Medians
@@ -32,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -140,6 +145,18 @@ def compare(
     return rows
 
 
+def default_trajectory_path(timings_path: Path) -> Path:
+    """``BENCH_<run_id>.json`` next to the timings file.
+
+    ``run_id`` is ``$GITHUB_RUN_ID`` on CI; locally it falls back to a
+    UTC timestamp so repeated local runs do not overwrite each other.
+    """
+    run_id = os.environ.get("GITHUB_RUN_ID") or time.strftime(
+        "local-%Y%m%dT%H%M%SZ", time.gmtime()
+    )
+    return timings_path.resolve().parent / f"BENCH_{run_id}.json"
+
+
 def write_trajectory(path: Path, medians: Dict[str, float]) -> None:
     """Write one benchmark-history point (commit metadata from CI env vars).
 
@@ -186,7 +203,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trajectory",
         type=Path,
         default=None,
-        help="write this run's BENCH_*.json history point here",
+        help=(
+            "write this run's BENCH_*.json history point here "
+            "(default: BENCH_<run_id>.json next to the timings file)"
+        ),
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip writing the trajectory point entirely",
     )
     parser.add_argument(
         "--update",
@@ -197,12 +222,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     current = load_run_medians(args.timings)
 
-    # The trajectory point is written before any gating, so every CI run
-    # leaves its BENCH_<run_id>.json in the archive -- including runs whose
-    # bench session failed and produced no (or partial) medians.
-    if args.trajectory is not None:
-        write_trajectory(args.trajectory, current)
-        print(f"trajectory point written to {args.trajectory}")
+    # The trajectory point is written before any gating, so every run --
+    # CI or local -- leaves its BENCH_<run_id>.json behind, including runs
+    # whose bench session failed and produced no (or partial) medians.
+    if not args.no_trajectory:
+        trajectory = (
+            args.trajectory
+            if args.trajectory is not None
+            else default_trajectory_path(args.timings)
+        )
+        write_trajectory(trajectory, current)
+        print(f"trajectory point written to {trajectory}")
 
     if not current:
         raise SystemExit(f"error: {args.timings} contains no benchmark records")

@@ -20,15 +20,18 @@ Subcommands
     default (``--store none`` opts out).
 ``campaign``
     Fault-tolerant, resumable fleet execution backed by the SQLite result
-    store: ``run`` enrolls + executes, ``status`` inspects (including the
-    per-stage latency table from the store's metrics rollups), ``resume``
-    re-attempts the missing points from the store alone, ``export`` emits
-    the standard JSONL results format, ``doctor`` audits the store for
-    corruption and dead-driver leases (``--repair`` fixes what it finds).
-    ``run``/``resume`` accept ``--timeout`` (per-point wall-clock budget
-    enforced by a watchdog) and ``--retry-backoff`` (delay between retry
-    attempts); SIGINT/SIGTERM mark in-flight points ``failed
-    ("interrupted")`` and exit with code 130.
+    store: ``run`` enrolls + executes, ``enroll`` enrolls without
+    executing (feeding a worker fleet), ``worker`` joins a cooperative
+    fleet pulling points from the shared store until the queue drains,
+    ``status`` inspects (per-owner lease view, per-stage latency table),
+    ``resume`` re-attempts the missing points from the store alone,
+    ``export`` emits the standard JSONL results format, ``doctor`` audits
+    the store for corruption and dead-driver leases (``--repair`` fixes
+    what it finds).  ``run``/``resume``/``worker`` accept ``--timeout``
+    (per-point wall-clock budget enforced by a watchdog) and
+    ``--retry-backoff`` (delay between retry attempts); SIGINT/SIGTERM
+    mark or release in-flight points and exit with code 130.  ``--store``
+    everywhere takes a path or a backend URL (``sqlite:///path``).
 ``report``
     Generate a paper-artifact report preset (``table1``, ``catalog``) as
     deterministic Markdown or CSV.
@@ -65,10 +68,14 @@ from .runner.cache import StageCache, default_cache_dir
 from .runner.solvers import available_solvers
 from .runner.stages import PIPELINE_STAGES, run_scenario
 from .runner.store import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_STALE_AFTER_S,
     METRIC_KIND_STAGE_TIME,
     ResultStore,
     default_store_path,
+    resolve_store,
 )
+from .runner.worker import DEFAULT_POLL_S, run_worker
 from .scenario.catalog import builtin_scenarios
 from .scenario.spec import ScenarioSpec
 from .sweep import SweepAxis, SweepPlan, run_sweep
@@ -111,7 +118,8 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         "--store",
         default=None,
         help=(
-            "campaign result-store database, or 'none' for the in-memory path "
+            "campaign result-store database: a path, a backend URL such as "
+            "sqlite:///path/to/store.sqlite, or 'none' for the in-memory path "
             "(default: $REPRO_STORE_PATH or <cache dir>/campaigns.sqlite)"
         ),
     )
@@ -141,11 +149,15 @@ def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _store_from_args(args: argparse.Namespace) -> "str | Path | None":
-    """Resolve the ``--store`` flag to a path (default store) or ``None``."""
+    """Resolve ``--store`` to a path, a backend URL string, or ``None``."""
     if args.store is None:
         return default_store_path()
     if args.store.lower() == "none":
         return None
+    if "://" in args.store:
+        # A backend URL (e.g. sqlite:///path); resolve_store dispatches it
+        # through the scheme registry in repro.runner.backend.
+        return args.store
     return Path(args.store)
 
 
@@ -315,12 +327,58 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 1 if batch.campaign.failed or batch.campaign.timed_out else 0
 
 
+def _cmd_campaign_enroll(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        specs = [_load_scenario(name) for name in args.scenarios]
+    else:
+        specs = list(builtin_scenarios().values())
+    store = _store_from_args(args)
+    if store is None:
+        raise ReproError("campaign enroll needs a result store (--store cannot be 'none')")
+    with resolve_store(store) as result_store:
+        records = result_store.enroll(args.name, specs)
+        counts = result_store.status_counts(args.name)
+    emit_out(
+        f"campaign {args.name!r}: {len(records)} point(s) enrolled, "
+        f"{counts['pending']} pending, {counts['done']} already done"
+    )
+    emit_out(f"store: {store}")
+    emit_out(f"start workers with: repro campaign worker {args.name} --store {store}")
+    return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    if store is None:
+        raise ReproError("campaign worker needs a result store (--store cannot be 'none')")
+    summary = run_worker(
+        args.name,
+        store=store,
+        worker_id=args.id,
+        cache=_cache_from_args(args),
+        use_cache=not args.no_cache,
+        serial=args.serial,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        retry_backoff_s=args.retry_backoff,
+        heartbeat_s=args.heartbeat,
+        stale_after_s=args.stale_after,
+        poll_s=args.poll,
+        max_points=args.max_points,
+        wait_for_stragglers=not args.no_wait,
+    )
+    emit_out(summary.report())
+    if summary.stopped_by_signal is not None:
+        return 130
+    return 1 if summary.failed or summary.timed_out else 0
+
+
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     store_path = _store_from_args(args)
     if store_path is None:
         raise ReproError("campaign resume needs a result store (--store cannot be 'none')")
     cache = _cache_from_args(args)
-    with ResultStore(store_path) as store:
+    with resolve_store(store_path) as store:
         records = store.points(args.name)
         if not records:
             known = ", ".join(name for name, _ in store.campaigns()) or "none"
@@ -369,7 +427,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     store_path = _store_from_args(args)
     if store_path is None:
         raise ReproError("campaign status needs a result store (--store cannot be 'none')")
-    with ResultStore(store_path) as store:
+    with resolve_store(store_path) as store:
         if not args.name:
             campaigns = store.campaigns()
             if args.json:
@@ -405,6 +463,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                     "degraded": record.degraded,
                     "fallback_solver": record.fallback_solver,
                     "lease_owner": record.lease_owner,
+                    "heartbeat_ts": record.heartbeat_ts,
                 }
                 for record in records
             ]
@@ -427,6 +486,19 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         if degraded:
             line += f", {degraded} degraded"
         emit_out(line)
+        fleet = store.fleet(args.name)
+        if fleet:
+            emit_out(
+                f"running leases by owner (stale after {args.stale_after:g}s):"
+            )
+            for row in fleet:
+                oldest = row["oldest_heartbeat_age_s"]
+                stale = " STALE" if oldest > args.stale_after else ""
+                emit_out(
+                    f"  {row['owner']}: {row['points']} point(s), "
+                    f"last heartbeat {row['newest_heartbeat_age_s']:.1f}s ago "
+                    f"(oldest {oldest:.1f}s){stale}"
+                )
         width = max(len(record.name) for record in records)
         for record in records:
             wall = "" if record.wall_time_s is None else f" {record.wall_time_s:.2f}s"
@@ -449,7 +521,7 @@ def _cmd_campaign_doctor(args: argparse.Namespace) -> int:
     store_path = _store_from_args(args)
     if store_path is None:
         raise ReproError("campaign doctor needs a result store (--store cannot be 'none')")
-    with ResultStore(store_path) as store:
+    with resolve_store(store_path) as store:
         report = store.integrity_report(args.name, stale_after_s=args.stale_after)
         emit_out(f"store: {report['path']} (schema v{report['schema_version']})")
         emit_out(f"sqlite integrity: {'ok' if report['sqlite_ok'] else 'FAILED'}")
@@ -482,7 +554,7 @@ def _cmd_campaign_export(args: argparse.Namespace) -> int:
     store_path = _store_from_args(args)
     if store_path is None:
         raise ReproError("campaign export needs a result store (--store cannot be 'none')")
-    with ResultStore(store_path) as store:
+    with resolve_store(store_path) as store:
         counts = store.status_counts(args.name)
         if not sum(counts.values()):
             known = ", ".join(name for name, _ in store.campaigns()) or "none"
@@ -849,6 +921,83 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_argument(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
+    campaign_enroll = campaign_sub.add_parser(
+        "enroll",
+        help="enroll scenarios as campaign points without executing them "
+        "(feed a worker fleet)",
+    )
+    campaign_enroll.add_argument("name", help="campaign name (keys the store rows)")
+    campaign_enroll.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names / JSON files (default: the whole built-in catalog)",
+    )
+    _add_store_argument(campaign_enroll)
+    campaign_enroll.set_defaults(func=_cmd_campaign_enroll)
+
+    campaign_worker = campaign_sub.add_parser(
+        "worker",
+        help="join a campaign as one worker of a cooperative fleet "
+        "(claim -> run -> heartbeat -> mark until the queue drains)",
+    )
+    campaign_worker.add_argument("name", help="campaign name to pull points from")
+    campaign_worker.add_argument(
+        "--id",
+        default=None,
+        metavar="WORKER_ID",
+        help="lease identity written into claimed rows (default: host:pid)",
+    )
+    campaign_worker.add_argument(
+        "--serial",
+        action="store_true",
+        help="run points in-process instead of a single-process pool "
+        "(no mid-point heartbeats, post-hoc timeouts)",
+    )
+    campaign_worker.add_argument(
+        "--retries", type=int, default=0, help="per-point retry budget"
+    )
+    campaign_worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT_S,
+        metavar="SECONDS",
+        help=f"mid-point heartbeat cadence (default: {DEFAULT_HEARTBEAT_S:g})",
+    )
+    campaign_worker.add_argument(
+        "--stale-after",
+        type=float,
+        default=DEFAULT_STALE_AFTER_S,
+        metavar="SECONDS",
+        help="heartbeat age beyond which a sibling's running row is adopted "
+        f"(default: {DEFAULT_STALE_AFTER_S:g})",
+    )
+    campaign_worker.add_argument(
+        "--poll",
+        type=float,
+        default=DEFAULT_POLL_S,
+        metavar="SECONDS",
+        help="sleep between claim attempts while waiting on siblings "
+        f"(default: {DEFAULT_POLL_S:g})",
+    )
+    campaign_worker.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after claiming N points (default: run until drained)",
+    )
+    campaign_worker.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit as soon as no row is claimable instead of waiting to "
+        "adopt siblings' stale leases",
+    )
+    _add_robustness_arguments(campaign_worker)
+    _add_store_argument(campaign_worker)
+    _add_cache_arguments(campaign_worker)
+    _add_trace_argument(campaign_worker)
+    campaign_worker.set_defaults(func=_cmd_campaign_worker)
+
     campaign_status = campaign_sub.add_parser(
         "status", help="inspect campaign state (per-point when a name is given)"
     )
@@ -856,6 +1005,14 @@ def build_parser() -> argparse.ArgumentParser:
         "name", nargs="?", default=None, help="campaign name (omit to list campaigns)"
     )
     campaign_status.add_argument("--json", action="store_true", help="emit JSON")
+    campaign_status.add_argument(
+        "--stale-after",
+        type=float,
+        default=DEFAULT_STALE_AFTER_S,
+        metavar="SECONDS",
+        help="heartbeat age beyond which a running lease is flagged STALE "
+        f"in the fleet view (default: {DEFAULT_STALE_AFTER_S:g})",
+    )
     _add_store_argument(campaign_status)
     campaign_status.set_defaults(func=_cmd_campaign_status)
 

@@ -50,7 +50,18 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .. import faults
 from ..errors import ConfigurationError, ScenarioExecutionError
@@ -59,6 +70,8 @@ from ..telemetry import MetricStats, configure_from_env, merge_active_trace, spa
 from .cache import PathLike, StageCache, resolve_cache
 from .stages import ScenarioResult, run_scenario, scenario_content_digest
 from .store import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_STALE_AFTER_S,
     METRIC_KIND_COUNTER,
     METRIC_KIND_POINT_TIME,
     METRIC_KIND_STAGE_HIT_TIME,
@@ -84,13 +97,8 @@ DEFAULT_CAMPAIGN = "batch"
 #: all checked at this cadence even while every worker is busy.
 WAIT_TICK_S = 0.25
 
-#: Default cadence of campaign heartbeats (seconds between refreshes of the
-#: driver's own ``running`` rows).
-DEFAULT_HEARTBEAT_S = 5.0
-
-#: Default age after which a ``running`` row with no heartbeat counts as
-#: abandoned by a dead driver and is reclaimed mid-run.
-DEFAULT_STALE_AFTER_S = 60.0
+# DEFAULT_HEARTBEAT_S / DEFAULT_STALE_AFTER_S now live in .store (shared
+# with the worker daemon) and are re-exported above for compatibility.
 
 
 def retry_backoff_delay(base_s: float, attempt: int, key: str) -> float:
@@ -259,14 +267,61 @@ def _worker_payload(
     return (spec.to_dict(), cache_dir, use_cache, mmap_arrays)
 
 
-def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
-    """Process-pool entry point: rebuild the spec, run it, return a record.
+def execute_point(
+    spec: Union[ScenarioSpec, Mapping[str, Any]],
+    cache: Optional[StageCache] = None,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    mmap_arrays: bool = True,
+) -> Tuple[str, dict]:
+    """Run one campaign point and classify the outcome in-process.
 
-    Returns ``("ok", result_record)`` on success and
-    ``("error", {"error", "traceback"})`` when the scenario raises, so an
-    exception inside a worker never tears down the pool and the parent can
-    attribute the failure to its point (name + digest) instead of surfacing
-    a bare pool traceback.
+    The shared per-point execution path of every driver: the batch pool
+    worker, the serial campaign driver and the
+    :mod:`~repro.runner.worker` fleet daemon all route through here, so a
+    point behaves identically no matter which process model executes it.
+
+    Fires the ``worker.crash`` / ``worker.hang`` chaos sites (keyed by the
+    scenario name) before touching the scenario, then returns
+    ``("ok", result_record)`` on success or
+    ``("error", {"error", "traceback"})`` when the scenario raises — an
+    exception never escapes, so the caller can attribute the failure to
+    its point instead of surfacing a bare traceback.  (Stop signals —
+    ``BaseException`` — do escape, by design.)
+
+    ``cache`` takes an existing :class:`~repro.runner.cache.StageCache`
+    handle (preserving its hit/miss counters for the caller); otherwise
+    ``cache_dir`` opens one in place.  With neither, the point runs
+    uncached.
+    """
+    spec = spec if isinstance(spec, ScenarioSpec) else ScenarioSpec.from_dict(spec)
+    faults.fire("worker.crash", key=spec.name)
+    faults.fire("worker.hang", key=spec.name)
+    try:
+        if cache is None and cache_dir is not None:
+            cache = StageCache(
+                root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays
+            )
+        result = run_scenario(spec, cache=cache, use_cache=use_cache)
+        return ("ok", result.to_dict())
+    except Exception as exc:
+        return (
+            "error",
+            {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            },
+        )
+
+
+def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
+    """Process-pool entry point: environment setup around :func:`execute_point`.
+
+    Returns ``("ok", result_record)`` or ``("error", {"error",
+    "traceback"})`` (see :func:`execute_point`), so an exception inside a
+    worker never tears down the pool and the parent can attribute the
+    failure to its point (name + digest) instead of surfacing a bare pool
+    traceback.
     """
     # The batch already parallelises across processes; keep the horizon
     # kernel single-threaded inside each worker to avoid oversubscription.
@@ -279,28 +334,13 @@ def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
     # Chaos hooks: $REPRO_FAULTS propagates the same way.  ``worker.crash``
     # kills this process outright (exercising pool-death recovery in the
     # parent), ``worker.hang`` sleeps past any deadline (exercising the
-    # watchdog).  Both are no-ops unless a fault plan is armed.
+    # watchdog).  Both are no-ops unless a fault plan is armed; they fire
+    # inside ``execute_point``.
     faults.configure_from_env()
     spec_dict, cache_dir, use_cache, mmap_arrays = args
-    faults.fire("worker.crash", key=str(spec_dict.get("name", "")))
-    faults.fire("worker.hang", key=str(spec_dict.get("name", "")))
-    try:
-        spec = ScenarioSpec.from_dict(spec_dict)
-        cache = (
-            StageCache(root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays)
-            if cache_dir
-            else None
-        )
-        result = run_scenario(spec, cache=cache, use_cache=use_cache)
-        return ("ok", result.to_dict())
-    except Exception as exc:
-        return (
-            "error",
-            {
-                "error": f"{type(exc).__name__}: {exc}",
-                "traceback": traceback.format_exc(),
-            },
-        )
+    return execute_point(
+        spec_dict, cache_dir=cache_dir, use_cache=use_cache, mmap_arrays=mmap_arrays
+    )
 
 
 def _point_error_message(name: str, digest: str, error: str) -> str:
@@ -402,22 +442,23 @@ def _drive_points(
             start = time.perf_counter()
             try:
                 # Serial mode has no worker processes -- the driver is the
-                # worker, so the worker.* chaos sites fire right here (a
-                # crash kills the driver, leaving the running rows a later
-                # resume must reclaim; a hang trips the post-hoc timeout).
-                faults.fire("worker.crash", key=specs[index].name)
-                faults.fire("worker.hang", key=specs[index].name)
-                record = run_scenario(
+                # worker, so the worker.* chaos sites fire right here,
+                # inside execute_point (a crash kills the driver, leaving
+                # the running rows a later resume must reclaim; a hang
+                # trips the post-hoc timeout).  The existing stage_cache
+                # handle is passed through so its hit/miss counters keep
+                # accumulating across the run.
+                status, record = execute_point(
                     specs[index], cache=stage_cache, use_cache=use_cache
-                ).to_dict()
+                )
             except _StopRequested:
                 if on_stop is not None:
                     on_stop(index)
                 raise
-            except Exception as exc:
+            if status != "ok":
                 requeue(
                     index,
-                    on_error(index, f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+                    on_error(index, record["error"], record.get("traceback", "")),
                 )
                 continue
             elapsed = time.perf_counter() - start

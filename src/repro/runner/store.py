@@ -32,12 +32,18 @@ plus the scenario's stage-cache content digest
     dictionary, so ``repro campaign resume`` can rebuild the work list from
     the store alone -- no original command line or plan file needed.
 
-The store is written only by the parent (campaign-driving) process; worker
-processes never touch it, which keeps the SQLite access single-writer and
-makes a worker death unable to corrupt campaign state.  Writes retry with
-exponential backoff on transient ``sqlite3.OperationalError`` (a locked
-database), and ``repro campaign doctor`` audits/repairs a store that was
-hit by crashes anyway.  ``export`` renders the ``done`` rows through the
+Within one driver, the store is written only by the parent (campaign-
+driving) process; worker *pool* processes never touch it, so a dying
+worker cannot corrupt campaign state.  Across drivers the store doubles as
+a shared work queue: every write runs in its own ``BEGIN IMMEDIATE``
+transaction (the write lock is taken up front, so a read-modify-write like
+:meth:`ResultStore.claim_next_pending` or
+:meth:`ResultStore.reclaim_stale` can never interleave with a competing
+driver's), every connection sets ``PRAGMA busy_timeout``, and contended
+writes additionally retry with exponential backoff on transient
+``sqlite3.OperationalError`` (``SQLITE_BUSY``, a flaky network
+filesystem); ``repro campaign doctor`` audits/repairs a store that was hit
+by crashes anyway.  ``export`` renders the ``done`` rows through the
 existing JSONL writer, byte-for-byte compatible with
 :func:`~repro.runner.batch.write_results_jsonl`, so every downstream
 consumer (sweep aggregation, reports) works unchanged.
@@ -47,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import socket
 import sqlite3
 import time
@@ -81,6 +88,21 @@ _STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED, STATUS_
 #: Transient-write retry policy: attempts and first backoff (doubled per try).
 WRITE_RETRIES = 5
 WRITE_RETRY_BACKOFF_S = 0.05
+
+#: How long SQLite itself blocks on a contended write lock before surfacing
+#: ``SQLITE_BUSY`` (which then enters the retry loop above).  Contended
+#: claims from a worker fleet degrade to waiting, never to errors.
+BUSY_TIMEOUT_MS = 5000
+
+#: Default cadence of campaign heartbeats (seconds between refreshes of a
+#: driver's or worker's ``running`` rows).
+DEFAULT_HEARTBEAT_S = 5.0
+
+#: Default age after which a ``running`` row with no heartbeat counts as
+#: abandoned by a dead driver/worker and becomes eligible for reclamation
+#: (:meth:`ResultStore.reclaim_stale`) or adoption
+#: (:meth:`ResultStore.claim_next_pending`).
+DEFAULT_STALE_AFTER_S = 60.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -182,6 +204,20 @@ class PointRecord:
                 f"campaign point {self.name!r} has no stored result (status {self.status})"
             )
         return ScenarioResult.from_dict(self.result_dict)
+
+
+@dataclass(frozen=True)
+class ClaimedPoint:
+    """One point atomically claimed from the shared work queue.
+
+    ``point`` is the row's post-claim snapshot (status ``running``, lease
+    stamped, attempts already incremented).  ``adopted`` is True when the
+    claim took over a stale ``running`` row abandoned by a dead worker
+    rather than a fresh ``pending`` one.
+    """
+
+    point: PointRecord
+    adopted: bool
 
 
 @dataclass
@@ -322,6 +358,10 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        # Every connection blocks (rather than erroring) on a contended
+        # write lock: a fleet of workers claiming from one store must wait
+        # its turn, not surface SQLITE_BUSY to the caller.
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         with self._conn:
             self._conn.executescript(_SCHEMA)
             row = self._conn.execute(
@@ -391,76 +431,124 @@ class ResultStore:
                 "(identical specs enrolled twice)"
             )
         now = time.time()
+
+        def operate(conn: sqlite3.Connection) -> None:
+            # One IMMEDIATE transaction: two drivers enrolling the same
+            # fleet concurrently serialise here, so positions stay unique
+            # and the second enrollment is a pure no-op.
+            row = conn.execute(
+                "SELECT COALESCE(MAX(position), -1) AS top FROM points WHERE campaign=?",
+                (campaign,),
+            ).fetchone()
+            next_position = int(row["top"]) + 1
+            for spec, digest in zip(specs, digests):
+                cursor = conn.execute(
+                    """
+                    INSERT OR IGNORE INTO points
+                        (campaign, digest, name, position, status, attempts,
+                         spec, created_at, updated_at)
+                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
+                    """,
+                    (
+                        campaign,
+                        digest,
+                        spec.name,
+                        next_position,
+                        json.dumps(spec.to_dict(), sort_keys=True),
+                        now,
+                        now,
+                    ),
+                )
+                if cursor.rowcount:
+                    next_position += 1
+
         with span("store.enroll", campaign=campaign, n_specs=len(specs)):
-            with self._conn:
-                row = self._conn.execute(
-                    "SELECT COALESCE(MAX(position), -1) AS top FROM points WHERE campaign=?",
-                    (campaign,),
-                ).fetchone()
-                next_position = int(row["top"]) + 1
-                for spec, digest in zip(specs, digests):
-                    cursor = self._conn.execute(
-                        """
-                        INSERT OR IGNORE INTO points
-                            (campaign, digest, name, position, status, attempts,
-                             spec, created_at, updated_at)
-                        VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
-                        """,
-                        (
-                            campaign,
-                            digest,
-                            spec.name,
-                            next_position,
-                            json.dumps(spec.to_dict(), sort_keys=True),
-                            now,
-                            now,
-                        ),
-                    )
-                    if cursor.rowcount:
-                        next_position += 1
+            self._write(operate, key=campaign)
         return [self.point(campaign, digest) for digest in digests]
 
     # -- state transitions --------------------------------------------------------
 
     def _write(self, operate: Callable[[sqlite3.Connection], Any], key: str = "") -> Any:
-        """Run one write transaction with transient-error retries.
+        """Run one ``BEGIN IMMEDIATE`` write transaction with bounded retries.
 
-        A locked database (another process checkpointing the WAL, a flaky
-        network filesystem) surfaces as ``sqlite3.OperationalError``; the
-        write retries with exponential backoff before giving up.  The
-        ``store.io`` fault site injects exactly that error to prove the
-        retries absorb it.
+        The write lock is acquired *up front* (``BEGIN IMMEDIATE``), so a
+        read-modify-write transaction -- select the next claimable row,
+        stamp it -- can never interleave with a competing driver's: SQLite
+        serialises the whole transaction, which is what makes
+        :meth:`claim_next_pending` and :meth:`reclaim_stale` atomic across
+        processes and hosts.  A contended lock blocks for
+        ``PRAGMA busy_timeout`` first; if it still surfaces as
+        ``sqlite3.OperationalError`` (``SQLITE_BUSY``/"database is locked",
+        a flaky network filesystem), the transaction retries with
+        exponential backoff before giving up -- contended writes degrade to
+        waiting, never to raw errors.  The ``store.io`` fault site injects
+        exactly that error to prove the retries absorb it.
         """
         delay = WRITE_RETRY_BACKOFF_S
         last_error: Optional[BaseException] = None
         for attempt in range(WRITE_RETRIES):
             try:
                 faults.fire("store.io", key=key)
-                with self._conn:
-                    return operate(self._conn)
+                self._conn.execute("BEGIN IMMEDIATE")
             except sqlite3.OperationalError as exc:
                 last_error = exc
                 if attempt + 1 < WRITE_RETRIES:
                     time.sleep(delay)
                     delay *= 2
+                continue
+            try:
+                value = operate(self._conn)
+                self._conn.commit()
+                return value
+            except sqlite3.OperationalError as exc:
+                self._conn.rollback()
+                last_error = exc
+                if attempt + 1 < WRITE_RETRIES:
+                    time.sleep(delay)
+                    delay *= 2
+            except BaseException:
+                self._conn.rollback()
+                raise
         raise ConfigurationError(
             f"result store write failed after {WRITE_RETRIES} attempts: {last_error}"
         ) from last_error
 
-    def _touch(self, campaign: str, digest: str, **updates: Any) -> None:
+    def _touch(
+        self,
+        campaign: str,
+        digest: str,
+        require_owner: Optional[str] = None,
+        **updates: Any,
+    ) -> bool:
+        """Update one point row; optionally fenced on the caller's lease.
+
+        With ``require_owner`` set the update only applies while the row is
+        still ``running`` under that lease — the write is a no-op (returns
+        ``False``) if a sibling worker adopted the lease in the meantime.
+        This fencing is what keeps completion-marking at-most-once even
+        though execution is at-least-once.  Without ``require_owner`` a
+        missing row raises (a digest typo is a caller bug, not a race).
+        """
         updates["updated_at"] = time.time()
         columns = ", ".join(f"{name}=?" for name in updates)
+        where = "campaign=? AND digest=?"
+        params: List[Any] = [*updates.values(), campaign, digest]
+        if require_owner is not None:
+            where += " AND status=? AND lease_owner=?"
+            params.extend([STATUS_RUNNING, require_owner])
         cursor = self._write(
             lambda conn: conn.execute(
-                f"UPDATE points SET {columns} WHERE campaign=? AND digest=?",
-                (*updates.values(), campaign, digest),
+                f"UPDATE points SET {columns} WHERE {where}", params
             ),
             key=campaign,
         )
         if cursor.rowcount == 0:
+            if require_owner is not None:
+                return False
             raise ConfigurationError(
                 f"campaign {campaign!r} has no point with digest {digest[:12]}..."
             )
+        return True
 
     def mark_running(
         self, campaign: str, digest: str, lease_owner: Optional[str] = None
@@ -489,6 +577,88 @@ class ResultStore:
             raise ConfigurationError(
                 f"campaign {campaign!r} has no point with digest {digest[:12]}..."
             )
+
+    def claim_next_pending(
+        self,
+        campaign: str,
+        owner: Optional[str] = None,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        now: Optional[float] = None,
+    ) -> Optional[ClaimedPoint]:
+        """Atomically claim the next runnable point for ``owner``.
+
+        One ``BEGIN IMMEDIATE`` transaction selects the oldest eligible row
+        — ``pending``, or ``running`` with a heartbeat older than
+        ``stale_after_s`` (a dead sibling's lease, adopted in place) — then
+        stamps ``lease_owner``/``heartbeat_ts``, increments ``attempts``,
+        and returns the refreshed record.  Because the transaction holds
+        the store's write lock from the first statement, two workers
+        claiming concurrently serialise: each gets a distinct point, or
+        ``None`` once the queue is drained.  Contended claims wait on
+        ``PRAGMA busy_timeout`` (and the retry loop in ``_write``) rather
+        than erroring or double-claiming.
+        """
+        now = time.time() if now is None else now
+        owner = owner if owner is not None else default_lease_owner()
+        cutoff = now - stale_after_s
+
+        def operate(conn: sqlite3.Connection) -> Optional[ClaimedPoint]:
+            row = conn.execute(
+                """
+                SELECT digest, status FROM points
+                WHERE campaign=?
+                  AND (status='pending'
+                       OR (status='running'
+                           AND COALESCE(heartbeat_ts, updated_at) < ?))
+                ORDER BY position
+                LIMIT 1
+                """,
+                (campaign, cutoff),
+            ).fetchone()
+            if row is None:
+                return None
+            adopted = row["status"] == STATUS_RUNNING
+            conn.execute(
+                """
+                UPDATE points
+                SET status=?, attempts=attempts + 1, error=NULL,
+                    lease_owner=?, heartbeat_ts=?, updated_at=?
+                WHERE campaign=? AND digest=?
+                """,
+                (STATUS_RUNNING, owner, now, now, campaign, row["digest"]),
+            )
+            fresh = conn.execute(
+                "SELECT * FROM points WHERE campaign=? AND digest=?",
+                (campaign, row["digest"]),
+            ).fetchone()
+            return ClaimedPoint(point=self._record(fresh), adopted=adopted)
+
+        with span("store.claim", campaign=campaign, owner=owner):
+            return self._write(operate, key=campaign)
+
+    def release(self, campaign: str, digest: str, owner: str) -> bool:
+        """Hand an in-flight claim back to the queue (``running -> pending``).
+
+        Used by a worker shutting down gracefully (SIGTERM) so a sibling
+        can claim the point immediately instead of waiting for the lease
+        to go stale.  Fenced on ``owner`` still holding the lease; returns
+        ``False`` if the row moved on without us.
+        """
+        now = time.time()
+        cursor = self._write(
+            lambda conn: conn.execute(
+                """
+                UPDATE points
+                SET status='pending', lease_owner=NULL, heartbeat_ts=NULL,
+                    error=NULL, updated_at=?
+                WHERE campaign=? AND digest=? AND status='running'
+                  AND lease_owner=?
+                """,
+                (now, campaign, digest, owner),
+            ),
+            key=campaign,
+        )
+        return cursor.rowcount > 0
 
     def heartbeat(self, campaign: str, digests: Sequence[str]) -> int:
         """Refresh the heartbeat of this driver's in-flight ``running`` rows.
@@ -521,18 +691,22 @@ class ResultStore:
         digest: str,
         result: Union[ScenarioResult, Mapping[str, Any]],
         wall_time_s: Optional[float] = None,
-    ) -> None:
+        require_owner: Optional[str] = None,
+    ) -> bool:
         """Record a completed point with its full result payload.
 
         The result's degradation provenance (``degraded`` /
         ``fallback_solver``) is mirrored into dedicated columns so status
-        queries need not parse result JSON.
+        queries need not parse result JSON.  With ``require_owner`` the
+        write is fenced on the caller still holding the lease (see
+        :meth:`_touch`); returns ``False`` when the lease was lost.
         """
         record = result.to_dict() if isinstance(result, ScenarioResult) else dict(result)
         with span("store.mark_done", campaign=campaign):
-            self._touch(
+            return self._touch(
                 campaign,
                 digest,
+                require_owner=require_owner,
                 status=STATUS_DONE,
                 result=json.dumps(record, sort_keys=True),
                 wall_time_s=wall_time_s,
@@ -543,24 +717,38 @@ class ResultStore:
                 fallback_solver=record.get("fallback_solver"),
             )
 
-    def mark_failed(self, campaign: str, digest: str, error: str) -> None:
+    def mark_failed(
+        self,
+        campaign: str,
+        digest: str,
+        error: str,
+        require_owner: Optional[str] = None,
+    ) -> bool:
         """Record a failed attempt with the wrapped worker error text."""
         with span("store.mark_failed", campaign=campaign):
-            self._touch(
+            return self._touch(
                 campaign,
                 digest,
+                require_owner=require_owner,
                 status=STATUS_FAILED,
                 error=str(error),
                 lease_owner=None,
                 heartbeat_ts=None,
             )
 
-    def mark_timed_out(self, campaign: str, digest: str, error: str) -> None:
+    def mark_timed_out(
+        self,
+        campaign: str,
+        digest: str,
+        error: str,
+        require_owner: Optional[str] = None,
+    ) -> bool:
         """Record a point whose wall-clock budget expired (watchdog kill)."""
         with span("store.mark_timed_out", campaign=campaign):
-            self._touch(
+            return self._touch(
                 campaign,
                 digest,
+                require_owner=require_owner,
                 status=STATUS_TIMED_OUT,
                 error=str(error),
                 lease_owner=None,
@@ -614,14 +802,20 @@ class ResultStore:
                 """,
                 (campaign, cutoff),
             ).fetchall()
+            reclaimed: List[str] = []
             for row in rows:
                 owner = row["lease_owner"] or "unknown driver"
-                conn.execute(
+                # The UPDATE re-checks staleness so a reclaim racing a
+                # sibling's reclaim (or a claim that adopted the lease
+                # between our SELECT and here) is a no-op: exactly one
+                # caller wins each stale row.
+                cursor = conn.execute(
                     """
                     UPDATE points
                     SET status='failed', error=?, lease_owner=NULL,
                         heartbeat_ts=NULL, updated_at=?
-                    WHERE campaign=? AND digest=?
+                    WHERE campaign=? AND digest=? AND status='running'
+                      AND COALESCE(heartbeat_ts, updated_at) < ?
                     """,
                     (
                         "interrupted: stale lease reclaimed "
@@ -629,9 +823,12 @@ class ResultStore:
                         now,
                         campaign,
                         row["digest"],
+                        cutoff,
                     ),
                 )
-            return [row["digest"] for row in rows]
+                if cursor.rowcount:
+                    reclaimed.append(row["digest"])
+            return reclaimed
 
         return self._write(operate, key=campaign)
 
@@ -699,6 +896,42 @@ class ResultStore:
         ):
             counts[row["status"]] = int(row["n"])
         return counts
+
+    def fleet(
+        self, campaign: str, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Per-owner view of the campaign's in-flight ``running`` rows.
+
+        Groups by ``lease_owner`` and reports how many points each worker
+        holds plus the age of its oldest and newest heartbeats, so a fleet
+        operator can spot a stalled worker before stale-lease reclamation
+        kicks in.  Rows predating the heartbeat column fall back to
+        ``updated_at``; a row with neither owner nor heartbeat is grouped
+        under ``"(no owner)"``.
+        """
+        now = time.time() if now is None else now
+        rows = self._conn.execute(
+            """
+            SELECT COALESCE(lease_owner, '(no owner)') AS owner,
+                   COUNT(*) AS points,
+                   MIN(COALESCE(heartbeat_ts, updated_at)) AS oldest_beat,
+                   MAX(COALESCE(heartbeat_ts, updated_at)) AS newest_beat
+            FROM points
+            WHERE campaign=? AND status='running'
+            GROUP BY COALESCE(lease_owner, '(no owner)')
+            ORDER BY owner
+            """,
+            (campaign,),
+        ).fetchall()
+        return [
+            {
+                "owner": row["owner"],
+                "points": int(row["points"]),
+                "oldest_heartbeat_age_s": max(0.0, now - float(row["oldest_beat"])),
+                "newest_heartbeat_age_s": max(0.0, now - float(row["newest_beat"])),
+            }
+            for row in rows
+        ]
 
     def campaigns(self) -> List[Tuple[str, Dict[str, int]]]:
         """Every campaign in the store with its status counts."""
@@ -859,31 +1092,34 @@ class ResultStore:
             latest = self.latest_metrics_run(campaign)
             run_id = 1 if latest is None else latest + 1
         now = time.time()
+
+        def operate(conn: sqlite3.Connection) -> None:
+            for kind, stats in rows:
+                conn.execute(
+                    """
+                    INSERT OR REPLACE INTO metrics
+                        (campaign, run_id, kind, name, count, total,
+                         minimum, maximum, p50, p90, p99, created_at)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    (
+                        campaign,
+                        run_id,
+                        kind,
+                        stats.name,
+                        stats.count,
+                        stats.total,
+                        stats.minimum,
+                        stats.maximum,
+                        stats.p50,
+                        stats.p90,
+                        stats.p99,
+                        now,
+                    ),
+                )
+
         with span("store.record_metrics", campaign=campaign, n_rows=len(rows)):
-            with self._conn:
-                for kind, stats in rows:
-                    self._conn.execute(
-                        """
-                        INSERT OR REPLACE INTO metrics
-                            (campaign, run_id, kind, name, count, total,
-                             minimum, maximum, p50, p90, p99, created_at)
-                        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                        """,
-                        (
-                            campaign,
-                            run_id,
-                            kind,
-                            stats.name,
-                            stats.count,
-                            stats.total,
-                            stats.minimum,
-                            stats.maximum,
-                            stats.p50,
-                            stats.p90,
-                            stats.p99,
-                            now,
-                        ),
-                    )
+            self._write(operate, key=campaign)
         return run_id
 
     def latest_metrics_run(self, campaign: str) -> Optional[int]:
@@ -924,19 +1160,33 @@ class ResultStore:
         return len(results)
 
 
+# A backend URL looks like "scheme://...", where the scheme follows the
+# RFC 3986 grammar (letter, then letters/digits/+/-/.).  Plain filesystem
+# paths never match, so resolve_store can tell them apart unambiguously.
+_URL_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.\-]*://")
+
+
 def resolve_store(
     store: Union["ResultStore", PathLike, None]
 ) -> Optional[ResultStore]:
     """Normalise the ``store`` argument of the campaign entry points.
 
-    ``None`` or the string ``"none"`` select the pure in-memory path; a path
-    opens (or creates) a store there; an existing :class:`ResultStore` is
+    ``None`` or the string ``"none"`` select the pure in-memory path; a
+    path opens (or creates) a store there; a backend URL such as
+    ``sqlite:///results.sqlite`` is dispatched through the scheme registry
+    in :mod:`repro.runner.backend`; an existing :class:`ResultStore` is
     passed through.
     """
     if store is None:
         return None
     if isinstance(store, ResultStore):
         return store
-    if isinstance(store, str) and store.lower() == "none":
-        return None
+    if isinstance(store, str):
+        if store.lower() == "none":
+            return None
+        if _URL_RE.match(store):
+            # Imported lazily: backend.py imports this module at top level.
+            from .backend import store_from_url
+
+            return store_from_url(store)
     return ResultStore(store)
