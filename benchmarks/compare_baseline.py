@@ -66,6 +66,28 @@ def load_run_medians(timings_path: Path) -> Dict[str, float]:
     return medians
 
 
+def load_run_extra_info(timings_path: Path) -> Dict[str, dict]:
+    """Extract ``{fullname: extra_info}`` for benchmarks that published any.
+
+    Benchmarks attach derived figures -- the serve bench's warm-hit
+    p50/p99, throughput -- via ``benchmark.extra_info``; carrying them into
+    the trajectory point keeps percentile history alongside the medians.
+    Tolerant of missing/unparsable timings, like :func:`load_run_medians`.
+    """
+    if not timings_path.exists():
+        return {}
+    try:
+        data = json.loads(timings_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return {}
+    extra: Dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        info = bench.get("extra_info") or {}
+        if info:
+            extra[bench["fullname"]] = info
+    return extra
+
+
 def load_baseline(baseline_path: Path) -> Dict[str, float]:
     """Read the committed baseline medians."""
     data = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -157,13 +179,17 @@ def default_trajectory_path(timings_path: Path) -> Path:
     return timings_path.resolve().parent / f"BENCH_{run_id}.json"
 
 
-def write_trajectory(path: Path, medians: Dict[str, float]) -> None:
+def write_trajectory(
+    path: Path, medians: Dict[str, float], extra_info: Optional[Dict[str, dict]] = None
+) -> None:
     """Write one benchmark-history point (commit metadata from CI env vars).
 
     ``complete`` is False when the bench session produced no medians (it
     crashed or was interrupted), so the archived history shows the gap
-    instead of silently skipping the run.
+    instead of silently skipping the run.  ``extra_info`` carries published
+    per-benchmark figures (e.g. serve warm-hit p50/p99) verbatim.
     """
+    extra_info = extra_info or {}
     payload = {
         "format_version": BASELINE_FORMAT_VERSION,
         "commit": os.environ.get("GITHUB_SHA"),
@@ -171,6 +197,7 @@ def write_trajectory(path: Path, medians: Dict[str, float]) -> None:
         "ref": os.environ.get("GITHUB_REF"),
         "complete": bool(medians),
         "medians": {name: medians[name] for name in sorted(medians)},
+        "extra_info": {name: extra_info[name] for name in sorted(extra_info)},
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
@@ -231,7 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.trajectory is not None
             else default_trajectory_path(args.timings)
         )
-        write_trajectory(trajectory, current)
+        write_trajectory(trajectory, current, load_run_extra_info(args.timings))
         print(f"trajectory point written to {trajectory}")
 
     if not current:

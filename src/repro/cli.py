@@ -32,6 +32,17 @@ Subcommands
     ``--retry-backoff`` (delay between retry attempts); SIGINT/SIGTERM
     mark or release in-flight points and exit with code 130.  ``--store``
     everywhere takes a path or a backend URL (``sqlite:///path``).
+``serve``
+    Planning-as-a-service: a threaded HTTP/JSON front-end over the
+    campaign store.  ``POST /v1/plan`` answers memo hits instantly from
+    the content-digest store and enqueues misses into a serve campaign
+    (priority ``interactive`` by default) for a ``campaign worker`` fleet
+    sharing the same ``--store``; ``GET /v1/requests/<id>`` polls status,
+    ``/v1/healthz`` and ``/v1/stats`` expose queue depth, hit ratio and
+    admission counters.  ``--max-queue`` bounds the queue (HTTP 429 +
+    Retry-After beyond it); SIGTERM/SIGINT shut down cleanly with exit
+    code 0.  Defaults honour ``$REPRO_SERVE_PORT`` and
+    ``$REPRO_SERVE_MAX_QUEUE``.
 ``report``
     Generate a paper-artifact report preset (``table1``, ``catalog``) as
     deterministic Markdown or CSV.
@@ -57,6 +68,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 from pathlib import Path
 from typing import Any, List, Optional, Sequence
@@ -78,6 +91,17 @@ from .runner.store import (
 from .runner.worker import DEFAULT_POLL_S, run_worker
 from .scenario.catalog import builtin_scenarios
 from .scenario.spec import ScenarioSpec
+from .serve.app import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_SERVE_CAMPAIGN,
+    SERVE_MAX_QUEUE_ENV,
+    SERVE_PORT_ENV,
+    ServeApp,
+    create_server,
+    open_serve_store,
+)
+from .serve.queue import DEFAULT_MAX_QUEUE
 from .sweep import SweepAxis, SweepPlan, run_sweep
 from .sweep.report import available_presets, generate_report, sweep_report
 from .telemetry import emit_diagnostic, emit_err, emit_error, emit_out
@@ -371,6 +395,62 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
     if summary.stopped_by_signal is not None:
         return 130
     return 1 if summary.failed or summary.timed_out else 0
+
+
+class _ServeStop(Exception):
+    """Raised by the serve signal handlers to unwind ``serve_forever``.
+
+    ``server.shutdown()`` must not be called from a signal handler running
+    inside the ``serve_forever`` thread (it blocks until the loop exits --
+    a deadlock); raising through the loop instead unwinds cleanly.
+    """
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store_arg = _store_from_args(args)
+    if store_arg is None:
+        raise ReproError(
+            "repro serve needs a durable result store (--store cannot be 'none')"
+        )
+    port = (
+        args.port
+        if args.port is not None
+        else int(os.environ.get(SERVE_PORT_ENV, DEFAULT_PORT))
+    )
+    max_queue = (
+        args.max_queue
+        if args.max_queue is not None
+        else int(os.environ.get(SERVE_MAX_QUEUE_ENV, DEFAULT_MAX_QUEUE))
+    )
+    store = open_serve_store(store_arg)
+    app = ServeApp(store, campaign=args.campaign, max_queue=max_queue)
+    server = create_server(app, host=args.host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    emit_out(f"repro serve listening on http://{bound_host}:{bound_port}")
+    emit_out(
+        f"store: {store.path} (campaign {args.campaign!r}, max queue {max_queue})"
+    )
+    emit_out(
+        f"drain the queue with: repro campaign worker {args.campaign} "
+        f"--store {store.path}"
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        raise _ServeStop(signum)
+
+    previous_term = signal.signal(signal.SIGTERM, _stop)
+    previous_int = signal.signal(signal.SIGINT, _stop)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except _ServeStop as stop:
+        # SIGTERM/SIGINT is the *intended* way to stop a daemon: exit 0.
+        emit_out(f"received signal {stop.args[0]}, shutting down")
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        server.server_close()
+        store.close()
+    return 0
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
@@ -1073,6 +1153,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(campaign_export)
     campaign_export.set_defaults(func=_cmd_campaign_export)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="HTTP planning service: memo hits answered from the store, "
+        "misses enqueued for a worker fleet",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default=DEFAULT_HOST,
+        help=f"bind address (default: {DEFAULT_HOST})",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "bind port; 0 picks a free port "
+            f"(default: $REPRO_SERVE_PORT or {DEFAULT_PORT})"
+        ),
+    )
+    serve_parser.add_argument(
+        "--campaign",
+        default=DEFAULT_SERVE_CAMPAIGN,
+        help=(
+            "campaign cache misses are enrolled into "
+            f"(default: {DEFAULT_SERVE_CAMPAIGN!r})"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=(
+            "refuse new work (HTTP 429) beyond this many pending+running "
+            f"points (default: $REPRO_SERVE_MAX_QUEUE or {DEFAULT_MAX_QUEUE})"
+        ),
+    )
+    _add_store_argument(serve_parser)
+    _add_trace_argument(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     report_parser = subparsers.add_parser(
         "report", help="generate a paper-artifact report preset"

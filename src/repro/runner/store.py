@@ -72,9 +72,10 @@ from .stages import ScenarioResult, scenario_content_digest
 STORE_PATH_ENV = "REPRO_STORE_PATH"
 
 #: Bump when the table layout changes.  Version 2 (lease/heartbeat +
-#: degradation provenance columns) migrates version-1 stores in place;
-#: anything newer than the build is rejected.
-STORE_SCHEMA_VERSION = 2
+#: degradation provenance columns) and version 3 (the ``priority`` tier
+#: column used by the ``repro serve`` admission layer) migrate older stores
+#: in place; anything newer than the build is rejected.
+STORE_SCHEMA_VERSION = 3
 
 #: Row lifecycle states.
 STATUS_PENDING = "pending"
@@ -84,6 +85,16 @@ STATUS_FAILED = "failed"
 STATUS_TIMED_OUT = "timed_out"
 
 _STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED, STATUS_TIMED_OUT)
+
+#: Admission-priority tiers.  ``interactive`` rows (enqueued by the
+#: ``repro serve`` front-end on behalf of a waiting caller) are claimed
+#: ahead of ``batch`` rows (bulk enrollments) by
+#: :meth:`ResultStore.claim_next_pending`; within a tier the pre-priority
+#: enrollment ordering (``position``) is preserved unchanged.
+PRIORITY_INTERACTIVE = "interactive"
+PRIORITY_BATCH = "batch"
+
+PRIORITIES = (PRIORITY_INTERACTIVE, PRIORITY_BATCH)
 
 #: Transient-write retry policy: attempts and first backoff (doubled per try).
 WRITE_RETRIES = 5
@@ -126,6 +137,7 @@ CREATE TABLE IF NOT EXISTS points (
     heartbeat_ts REAL,
     degraded INTEGER NOT NULL DEFAULT 0,
     fallback_solver TEXT,
+    priority TEXT NOT NULL DEFAULT 'batch',
     PRIMARY KEY (campaign, digest)
 );
 CREATE INDEX IF NOT EXISTS idx_points_status ON points (campaign, status);
@@ -192,6 +204,7 @@ class PointRecord:
     heartbeat_ts: Optional[float] = None
     degraded: bool = False
     fallback_solver: Optional[str] = None
+    priority: str = PRIORITY_BATCH
 
     def spec(self) -> ScenarioSpec:
         """Rebuild the point's declarative scenario."""
@@ -351,10 +364,18 @@ class ResultStore:
     >>> store.close(); tmp.cleanup()
     """
 
-    def __init__(self, path: Union[PathLike, None] = None) -> None:
+    def __init__(
+        self, path: Union[PathLike, None] = None, cross_thread: bool = False
+    ) -> None:
         self.path = Path(path) if path is not None else default_store_path()
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
+        # ``cross_thread=True`` lets a caller that serialises its own access
+        # (the ``repro serve`` front-end, whose HTTP threads share one store
+        # behind a lock) use the connection from threads other than the one
+        # that opened it; plain drivers keep sqlite's same-thread check.
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=not cross_thread
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -372,16 +393,24 @@ class ResultStore:
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
                     (str(STORE_SCHEMA_VERSION),),
                 )
-            elif int(row["value"]) == 1:
-                # In-place v1 -> v2 migration: the new columns are purely
-                # additive (lease/heartbeat liveness, degradation
-                # provenance), so existing campaign state survives verbatim.
-                for column in (
-                    "lease_owner TEXT",
-                    "heartbeat_ts REAL",
-                    "degraded INTEGER NOT NULL DEFAULT 0",
-                    "fallback_solver TEXT",
-                ):
+            elif int(row["value"]) < STORE_SCHEMA_VERSION:
+                # In-place stepwise migration: every bump so far is purely
+                # additive (v2: lease/heartbeat liveness + degradation
+                # provenance, v3: the admission-priority tier), so existing
+                # campaign state survives verbatim.  Old rows take the
+                # column defaults -- notably ``priority='batch'``, keeping
+                # the pre-priority claim ordering for legacy campaigns.
+                columns = []
+                if int(row["value"]) < 2:
+                    columns += [
+                        "lease_owner TEXT",
+                        "heartbeat_ts REAL",
+                        "degraded INTEGER NOT NULL DEFAULT 0",
+                        "fallback_solver TEXT",
+                    ]
+                if int(row["value"]) < 3:
+                    columns += ["priority TEXT NOT NULL DEFAULT 'batch'"]
+                for column in columns:
                     try:
                         self._conn.execute(f"ALTER TABLE points ADD COLUMN {column}")
                     except sqlite3.OperationalError:
@@ -413,17 +442,26 @@ class ResultStore:
     # -- enrollment ---------------------------------------------------------------
 
     def enroll(
-        self, campaign: str, specs: Sequence[ScenarioSpec]
+        self,
+        campaign: str,
+        specs: Sequence[ScenarioSpec],
+        priority: str = PRIORITY_BATCH,
     ) -> List[PointRecord]:
         """Register the campaign's points, keeping any existing state.
 
         Idempotent: a digest already enrolled keeps its row (status,
-        attempts, result) untouched, so enrolling the same fleet again is
-        exactly the resume entry point.  Returns the stored records in
-        ``specs`` order.
+        attempts, result, priority) untouched, so enrolling the same fleet
+        again is exactly the resume entry point.  ``priority`` stamps the
+        admission tier of *newly created* rows: ``interactive`` points are
+        claimed ahead of ``batch`` ones by :meth:`claim_next_pending`.
+        Returns the stored records in ``specs`` order.
         """
         if not campaign:
             raise ConfigurationError("a campaign needs a non-empty name")
+        if priority not in PRIORITIES:
+            raise ConfigurationError(
+                f"unknown priority {priority!r}; expected one of {', '.join(PRIORITIES)}"
+            )
         digests = [scenario_content_digest(spec) for spec in specs]
         if len(set(digests)) != len(digests):
             raise ConfigurationError(
@@ -446,8 +484,8 @@ class ResultStore:
                     """
                     INSERT OR IGNORE INTO points
                         (campaign, digest, name, position, status, attempts,
-                         spec, created_at, updated_at)
-                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?)
+                         spec, created_at, updated_at, priority)
+                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?, ?)
                     """,
                     (
                         campaign,
@@ -457,6 +495,7 @@ class ResultStore:
                         json.dumps(spec.to_dict(), sort_keys=True),
                         now,
                         now,
+                        priority,
                     ),
                 )
                 if cursor.rowcount:
@@ -597,6 +636,12 @@ class ResultStore:
         ``None`` once the queue is drained.  Contended claims wait on
         ``PRAGMA busy_timeout`` (and the retry loop in ``_write``) rather
         than erroring or double-claiming.
+
+        Eligible rows are ordered by admission tier first — ``interactive``
+        points (enqueued by ``repro serve`` for a waiting caller) ahead of
+        ``batch`` ones — and by enrollment ``position`` within a tier, so a
+        store whose rows all share one priority claims in exactly the
+        pre-priority order.
         """
         now = time.time() if now is None else now
         owner = owner if owner is not None else default_lease_owner()
@@ -610,7 +655,8 @@ class ResultStore:
                   AND (status='pending'
                        OR (status='running'
                            AND COALESCE(heartbeat_ts, updated_at) < ?))
-                ORDER BY position
+                ORDER BY (CASE priority WHEN 'interactive' THEN 0 ELSE 1 END),
+                         position
                 LIMIT 1
                 """,
                 (campaign, cutoff),
@@ -855,6 +901,7 @@ class ResultStore:
             ),
             degraded=bool(row["degraded"]),
             fallback_solver=row["fallback_solver"],
+            priority=row["priority"] or PRIORITY_BATCH,
         )
 
     def point(self, campaign: str, digest: str) -> PointRecord:
@@ -867,6 +914,52 @@ class ResultStore:
                 f"campaign {campaign!r} has no point with digest {digest[:12]}..."
             )
         return self._record(row)
+
+    def find_point(self, campaign: str, digest: str) -> Optional[PointRecord]:
+        """Like :meth:`point` but returns ``None`` for an unknown digest.
+
+        The non-raising lookup the ``repro serve`` status endpoint uses: an
+        unknown request id is an expected client condition (404), not a
+        caller bug.
+        """
+        row = self._conn.execute(
+            "SELECT * FROM points WHERE campaign=? AND digest=?", (campaign, digest)
+        ).fetchone()
+        return None if row is None else self._record(row)
+
+    def find_done(self, digest: str) -> Optional[PointRecord]:
+        """The newest ``done`` row carrying this content digest, any campaign.
+
+        The content-digest memo behind the ``repro serve`` hit path: because
+        rows are keyed by :func:`~repro.runner.stages.scenario_content_digest`,
+        *any* campaign that ever completed a semantically identical scenario
+        can answer for it -- a pure read, the pipeline is never touched.
+        """
+        row = self._conn.execute(
+            """
+            SELECT * FROM points
+            WHERE digest=? AND status='done'
+            ORDER BY updated_at DESC
+            LIMIT 1
+            """,
+            (digest,),
+        ).fetchone()
+        return None if row is None else self._record(row)
+
+    def queue_depth(self, campaign: str) -> int:
+        """Number of not-yet-terminal rows (``pending`` + ``running``).
+
+        The admission-control figure: ``repro serve`` rejects new work
+        (``429``) while this exceeds its ``--max-queue``.
+        """
+        row = self._conn.execute(
+            """
+            SELECT COUNT(*) AS n FROM points
+            WHERE campaign=? AND status IN ('pending', 'running')
+            """,
+            (campaign,),
+        ).fetchone()
+        return int(row["n"])
 
     def points(
         self, campaign: str, status: Optional[str] = None

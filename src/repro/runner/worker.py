@@ -9,9 +9,11 @@ point to exactly one owner per attempt.
 
 The loop per worker is claim → run → heartbeat → mark:
 
-* **claim** — one atomic transaction takes the oldest ``pending`` row, or
-  *adopts* a ``running`` row whose heartbeat went stale (a sibling died
-  mid-point; no separate reclaim step is needed on this path).
+* **claim** — one atomic transaction takes the oldest ``pending`` row
+  (``interactive``-priority rows — points enqueued by ``repro serve`` for
+  a waiting caller — ahead of ``batch`` ones), or *adopts* a ``running``
+  row whose heartbeat went stale (a sibling died mid-point; no separate
+  reclaim step is needed on this path).
 * **run** — the point executes through the same
   :func:`~repro.runner.batch.execute_point` path as every other driver.
   By default it runs in a single-process pool so the daemon can refresh

@@ -1,0 +1,55 @@
+"""Planning-as-a-service: HTTP front-end over the campaign store.
+
+``repro serve`` answers ``POST /v1/plan`` instantly from the store's
+content-digest memo and enqueues misses as campaign points for a
+``repro campaign worker`` fleet to drain.  See :mod:`repro.serve.app` for
+the endpoint contract, :mod:`repro.serve.queue` for admission control and
+priority tiers, :mod:`repro.serve.client` for the stdlib client, and
+:mod:`repro.serve.traffic` for the closed-loop load generator.
+"""
+
+from .app import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_SERVE_CAMPAIGN,
+    MAX_BODY_BYTES,
+    SERVE_MAX_QUEUE_ENV,
+    SERVE_PORT_ENV,
+    ServeApp,
+    create_server,
+    normalize_scenario_document,
+    open_serve_store,
+)
+from .client import ServeClient, ServeResponse
+from .queue import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_RETRY_AFTER_S,
+    AdmissionController,
+    AdmissionDecision,
+    BadRequestError,
+    normalize_priority,
+)
+from .traffic import TrafficReport, run_traffic
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BadRequestError",
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_PORT",
+    "DEFAULT_RETRY_AFTER_S",
+    "DEFAULT_SERVE_CAMPAIGN",
+    "MAX_BODY_BYTES",
+    "SERVE_MAX_QUEUE_ENV",
+    "SERVE_PORT_ENV",
+    "ServeApp",
+    "ServeClient",
+    "ServeResponse",
+    "TrafficReport",
+    "create_server",
+    "normalize_priority",
+    "normalize_scenario_document",
+    "open_serve_store",
+    "run_traffic",
+]

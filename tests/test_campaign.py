@@ -28,7 +28,12 @@ from repro.runner import (
     scenario_content_digest,
 )
 from repro.runner.batch import write_results_jsonl
-from repro.runner.store import STATUS_DONE, STATUS_FAILED, default_store_path
+from repro.runner.store import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STORE_SCHEMA_VERSION,
+    default_store_path,
+)
 from repro.scenario import ScenarioSpec, SolverSpec, TimeSpec, builtin_scenarios
 from repro.sweep import SweepAxis, SweepPlan, SweepResult, run_sweep
 
@@ -150,6 +155,71 @@ class TestResultStore:
             conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
         with pytest.raises(ConfigurationError):
             ResultStore(path)
+
+    def test_v2_store_migrates_in_place_to_v3(self, tmp_path):
+        """A schema-v2 store (pre-priority) opens cleanly: the migration
+        adds the ``priority`` column in place, existing rows default to
+        ``batch``, and claim ordering is exactly the pre-priority
+        enrollment order."""
+        path = tmp_path / "campaigns.sqlite"
+        with ResultStore(path) as seeded:
+            seeded.enroll("camp", [tiny_spec("old-a"), tiny_spec("old-b")])
+        import sqlite3
+
+        with sqlite3.connect(path) as conn:
+            # Rewind to v2: drop the v3 column, stamp the old version.
+            conn.execute("ALTER TABLE points DROP COLUMN priority")
+            conn.execute("UPDATE meta SET value='2' WHERE key='schema_version'")
+        with ResultStore(path) as migrated:
+            assert [p.priority for p in migrated.points("camp")] == ["batch", "batch"]
+            first = migrated.claim_next_pending("camp", owner="w1")
+            second = migrated.claim_next_pending("camp", owner="w1")
+            assert [first.point.name, second.point.name] == ["old-a", "old-b"]
+        with sqlite3.connect(path) as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            assert row[0] == str(STORE_SCHEMA_VERSION)
+
+    def test_interrupted_migration_is_idempotent(self, tmp_path):
+        """Version stamp rewound but the column already added (a crash
+        between ALTER and UPDATE): reopening must tolerate the duplicate
+        column instead of failing the ALTER."""
+        path = tmp_path / "campaigns.sqlite"
+        with ResultStore(path) as seeded:
+            seeded.enroll("camp", [tiny_spec("survivor")])
+        import sqlite3
+
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE meta SET value='2' WHERE key='schema_version'")
+        with ResultStore(path) as migrated:
+            assert [p.name for p in migrated.points("camp")] == ["survivor"]
+
+    def test_equal_priority_claim_order_matches_pre_priority_order(self, store):
+        """When every row shares one priority tier the claim order is the
+        plain enrollment ``position`` order -- the exact pre-v3 behaviour,
+        pinned so the priority CASE never perturbs legacy campaigns."""
+        names = [f"p{i}" for i in range(5)]
+        store.enroll("camp", [tiny_spec(name) for name in names])
+        claimed = []
+        while True:
+            got = store.claim_next_pending("camp", owner="w1")
+            if got is None:
+                break
+            claimed.append(got.point.name)
+        assert claimed == names
+
+    def test_enroll_priority_validated_and_kept_on_reenroll(self, store):
+        from repro.runner import PRIORITY_INTERACTIVE
+
+        spec = tiny_spec("tiered")
+        with pytest.raises(ConfigurationError):
+            store.enroll("camp", [spec], priority="urgent")
+        (record,) = store.enroll("camp", [spec], priority=PRIORITY_INTERACTIVE)
+        assert record.priority == PRIORITY_INTERACTIVE
+        # Idempotent re-enrollment (the resume path) keeps the stored tier.
+        (again,) = store.enroll("camp", [spec])
+        assert again.priority == PRIORITY_INTERACTIVE
 
     def test_default_store_path_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "custom.sqlite"))

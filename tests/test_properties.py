@@ -243,3 +243,106 @@ class TestPlacementProperties:
         assert cells.shape == (cells_w * cells_h, 2)
         assert len({tuple(c) for c in cells}) == cells_w * cells_h
         assert cells[:, 0].min() == rows and cells[:, 1].min() == cols
+
+
+class TestServeNormalizationProperties:
+    """The serve memo must be representation-insensitive and garbage-proof.
+
+    ``normalize_scenario_document`` round-trips every client document
+    through :class:`~repro.scenario.ScenarioSpec`, so semantically
+    identical documents -- keys reordered, solver written as a string or a
+    dict, defaults spelled out or omitted -- collapse to one
+    ``scenario_content_digest`` (one memo entry, one request id).  And no
+    garbage document may ever escape as anything but the 400-mapped
+    :class:`~repro.serve.BadRequestError`: a public endpoint that 500s on
+    bad input is a bug.
+    """
+
+    @staticmethod
+    def _minimal_document(name, width_m, depth_m, tilt_deg, n_modules, solver):
+        return {
+            "name": name,
+            "roof": {
+                "name": f"{name}-roof",
+                "width_m": width_m,
+                "depth_m": depth_m,
+                "tilt_deg": tilt_deg,
+                "azimuth_deg": 0.0,
+            },
+            "n_modules": n_modules,
+            "solver": solver,
+        }
+
+    @given(
+        width_m=st.floats(min_value=3.0, max_value=20.0, allow_nan=False),
+        depth_m=st.floats(min_value=3.0, max_value=12.0, allow_nan=False),
+        tilt_deg=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+        n_modules=st.integers(min_value=1, max_value=6),
+        solver=st.sampled_from(["greedy", "traditional"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_documents_share_one_digest(
+        self, width_m, depth_m, tilt_deg, n_modules, solver
+    ):
+        from repro.runner import scenario_content_digest
+        from repro.serve import normalize_scenario_document
+
+        minimal = self._minimal_document(
+            "prop", width_m, depth_m, tilt_deg, n_modules, solver
+        )
+        # Defaults spelled out: the fully canonical dictionary form.
+        explicit = normalize_scenario_document(minimal).to_dict()
+        # Keys reordered (JSON object order must never matter).
+        reordered = dict(reversed(list(explicit.items())))
+        # Solver as string shorthand vs. explicit {"name", "options"} dict.
+        shorthand = dict(explicit)
+        shorthand["solver"] = solver
+
+        digests = {
+            scenario_content_digest(normalize_scenario_document(document))
+            for document in (minimal, explicit, reordered, shorthand)
+        }
+        assert len(digests) == 1
+
+    _json_values = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-10, max_value=10)
+        | st.floats(allow_nan=False, allow_infinity=False, width=32)
+        | st.text(max_size=8),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=12,
+    )
+
+    @given(document=_json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_documents_never_500_they_400(self, document):
+        from repro.serve import BadRequestError, normalize_scenario_document
+
+        try:
+            spec = normalize_scenario_document(document)
+        except BadRequestError:
+            return  # the 400 path: exactly what the contract demands
+        # A randomly valid document is acceptable -- it must round-trip.
+        assert spec.to_dict()["name"] == str(document["name"])
+
+    @given(document=_json_values)
+    @settings(max_examples=25, deadline=None)
+    def test_handle_plan_maps_garbage_to_400_not_500(self, document, tmp_path_factory):
+        import json as json_module
+
+        from repro.serve import ServeApp, open_serve_store
+
+        store = open_serve_store(
+            tmp_path_factory.mktemp("serve-prop") / "store.sqlite"
+        )
+        try:
+            app = ServeApp(store)
+            body = json_module.dumps({"scenario": document}).encode("utf-8")
+            status, payload, _ = app.dispatch("POST", "/v1/plan", body)
+            assert status in (202, 400)  # never 500
+            if status == 400:
+                assert "error" in payload
+        finally:
+            store.close()
