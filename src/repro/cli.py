@@ -390,6 +390,7 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
         poll_s=args.poll,
         max_points=args.max_points,
         wait_for_stragglers=not args.no_wait,
+        warm_start=not args.no_warm_start,
     )
     emit_out(summary.report())
     if summary.stopped_by_signal is not None:
@@ -742,6 +743,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         timeout_s=args.timeout,
         retry_backoff_s=args.retry_backoff,
+        warm_start=True if args.warm_start else None,
     )
     artifact = sweep_report(sweep)
     emit_out(artifact.text("csv" if args.format == "csv" else "markdown"), end="")
@@ -948,6 +950,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--serial", action="store_true", help="run in-process without worker processes"
     )
     sweep_parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="solve points in axis-ascending order, warm-starting each from its "
+        "nearest solved neighbour (results identical to cold, only faster)",
+    )
+    sweep_parser.add_argument(
         "--results", default=None, help="write per-point JSONL records here"
     )
     sweep_parser.add_argument(
@@ -1035,6 +1043,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_worker.add_argument(
         "--retries", type=int, default=0, help="per-point retry budget"
+    )
+    campaign_worker.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="ignore warm-start wiring recorded at enrollment; every claimed "
+        "point solves cold",
     )
     campaign_worker.add_argument(
         "--heartbeat",

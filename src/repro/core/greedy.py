@@ -28,14 +28,28 @@ removes the candidates whose window intersects the new footprint (a
 module.  :func:`greedy_floorplan_reference` keeps the original
 rebuild-everything flow as the ground truth: both must produce *identical*
 placements module for module.
+
+Warm starts exploit the algorithm's *prefix property*: the choice at step
+``i`` depends only on the modules placed at steps ``0..i-1`` (``n_modules``
+merely bounds the loop), so the solution for ``n`` modules is literally the
+first ``n`` rows of the solution for any larger instance of the same roof.
+When a caller passes a ``warm_start`` whose ``exact_prefix`` flag promises
+the hint came from the same problem with a smaller ``n_modules``, the
+placer validates the hinted prefix (bounds, validity, overlap -- a lying
+hint falls back to a cold solve) and resumes selection at module ``k``,
+skipping the per-module argmax scans for the replayed prefix entirely.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> core)
+    from ..runner.solvers import WarmStart
 
 from ..errors import InfeasiblePlacementError
 from ..geometry import Point2D
@@ -80,12 +94,17 @@ class GreedyConfig:
 
 @dataclass(frozen=True)
 class GreedyResult:
-    """Outcome of a greedy floorplanning run."""
+    """Outcome of a greedy floorplanning run.
+
+    ``warm_modules`` counts the modules replayed from a validated
+    warm-start prefix (0 = cold solve or rejected hint).
+    """
 
     placement: Placement
     suitability: SuitabilityMap
     runtime_s: float
     relaxed_threshold_count: int
+    warm_modules: int = 0
 
 
 def _footprint_score_map(
@@ -140,12 +159,12 @@ class _CandidateSet:
     """
 
     def __init__(self, problem: FloorplanProblem, fp: ModuleFootprint, rotated: bool,
-                 score_map: np.ndarray):
+                 score_map: np.ndarray, occupied: np.ndarray | None = None):
         self.fp = fp
         self.rotated = rotated
-        feasible = feasible_anchor_mask(
-            problem.grid.valid_mask, np.zeros(problem.grid.shape, dtype=bool), fp
-        )
+        if occupied is None:
+            occupied = np.zeros(problem.grid.shape, dtype=bool)
+        feasible = feasible_anchor_mask(problem.grid.valid_mask, occupied, fp)
         candidates = feasible & np.isfinite(score_map)
         rows, cols = np.nonzero(candidates)
         self.rows = rows
@@ -174,8 +193,16 @@ def greedy_floorplan(
     problem: FloorplanProblem,
     suitability: SuitabilityMap | None = None,
     config: GreedyConfig | None = None,
+    warm_start: "WarmStart | None" = None,
 ) -> GreedyResult:
-    """Run the paper's greedy placement algorithm on a problem instance."""
+    """Run the paper's greedy placement algorithm on a problem instance.
+
+    ``warm_start`` resumes placement after a validated prefix replay (see
+    the module docstring); a hint without ``exact_prefix`` or one that
+    fails validation is ignored and the solve runs cold, so passing a
+    stale or foreign hint can never change the answer -- only the time it
+    takes to reach it.
+    """
     cfg = config if config is not None else GreedyConfig()
     start = time.perf_counter()
 
@@ -191,15 +218,30 @@ def greedy_floorplan(
     if problem.allow_rotation and footprint.cells_w != footprint.cells_h:
         orientations.append((footprint.rotated(), True))
 
-    candidate_sets = [
-        _CandidateSet(
-            problem,
-            fp,
-            rotated,
-            _footprint_score_map(
-                suitability, fp.cells_h, fp.cells_w, cfg.footprint_aggregate
-            ),
+    score_maps = {
+        rotated: _footprint_score_map(
+            suitability, fp.cells_h, fp.cells_w, cfg.footprint_aggregate
         )
+        for fp, rotated in orientations
+    }
+
+    warm = (
+        _validated_warm_prefix(problem, warm_start, score_maps, orientations)
+        if warm_start is not None
+        else None
+    )
+    if warm is not None:
+        placed, placed_centers, occupied, relaxed = warm
+    else:
+        placed, placed_centers, occupied, relaxed = [], [], None, 0
+    warm_modules = len(placed)
+
+    # Rebuilding the candidate sets against the prefix's occupied mask gives
+    # exactly the state the incremental removals would have left behind (same
+    # feasibility criterion, same row-major order), at one sliding-window
+    # pass instead of one removal scan per replayed module.
+    candidate_sets = [
+        _CandidateSet(problem, fp, rotated, score_maps[rotated], occupied=occupied)
         for fp, rotated in orientations
     ]
 
@@ -210,12 +252,15 @@ def greedy_floorplan(
         factor=problem.distance_threshold_factor,
         min_radius_m=max(5.0 * module_diagonal, 6.0),
     )
-    placed: list[ModulePlacement] = []
-    placed_centers: list[Point2D] = []
-    relaxed = 0
     traced = tracing_enabled()
+    if traced and warm_modules:
+        trace_event(
+            "greedy.warm_start",
+            modules=warm_modules,
+            source=getattr(warm_start, "source", None),
+        )
 
-    for module_index in range(problem.n_modules):
+    for module_index in range(warm_modules, problem.n_modules):
         relaxed_before = relaxed
         best = _select_candidate(cfg, candidate_sets, placed_centers, threshold)
         if best is None:
@@ -264,7 +309,70 @@ def greedy_floorplan(
         suitability=suitability,
         runtime_s=runtime,
         relaxed_threshold_count=relaxed,
+        warm_modules=warm_modules,
     )
+
+
+def _validated_warm_prefix(
+    problem: FloorplanProblem,
+    warm_start: "WarmStart",
+    score_maps: dict,
+    orientations,
+):
+    """Validate a warm-start hint as this problem's own greedy prefix.
+
+    Returns ``(placed, placed_centers, occupied, relaxed)`` when the hint is
+    usable, ``None`` otherwise.  The checks are deliberately cheap -- O(k)
+    in the prefix length, never touching the candidate arrays: a finite
+    score at the hinted anchor already proves the footprint is in bounds and
+    clear of invalid cells, so only mutual overlap needs tracking.
+    """
+    hint = getattr(warm_start, "placement", None)
+    if hint is None or not getattr(warm_start, "exact_prefix", False):
+        return None
+    if not hint.modules or len(hint.modules) > problem.n_modules:
+        return None
+    if hint.metadata.get("algorithm") != "greedy":
+        return None
+    footprint = problem.footprint
+    if (hint.footprint.cells_w, hint.footprint.cells_h) != (
+        footprint.cells_w,
+        footprint.cells_h,
+    ):
+        return None
+    if abs(hint.grid_pitch - problem.grid.pitch) > 1e-9:
+        return None
+
+    footprint_by_rotation = {rotated: fp for fp, rotated in orientations}
+    occupied = np.zeros(problem.grid.shape, dtype=bool)
+    placed: list[ModulePlacement] = []
+    placed_centers: list[Point2D] = []
+    for expected_index, module in enumerate(hint.modules):
+        if module.module_index != expected_index:
+            return None
+        fp = footprint_by_rotation.get(module.rotated)
+        if fp is None:
+            return None
+        score_map = score_maps[module.rotated]
+        row, col = module.row, module.col
+        if not (0 <= row < score_map.shape[0] and 0 <= col < score_map.shape[1]):
+            return None
+        if not np.isfinite(score_map[row, col]):
+            return None
+        if occupied[row : row + fp.cells_h, col : col + fp.cells_w].any():
+            return None
+        placed.append(
+            ModulePlacement(
+                module_index=expected_index, row=row, col=col, rotated=module.rotated
+            )
+        )
+        placed_centers.append(anchor_center(row, col, fp, problem.grid.pitch))
+        mark_occupied(occupied, row, col, fp)
+
+    # The hint's own relax tally *is* the cold solve's tally over the same
+    # prefix: identical algorithm, identical decisions.
+    relaxed = int(hint.metadata.get("relaxed_threshold_count", 0))
+    return placed, placed_centers, occupied, relaxed
 
 
 def _select_candidate(

@@ -8,7 +8,7 @@ model), the number of modules N, and the series/parallel topology.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..constants import DEFAULT_DISTANCE_THRESHOLD_FACTOR, DEFAULT_SUITABILITY_PERCENTILE
 from ..errors import InfeasiblePlacementError, PlacementError

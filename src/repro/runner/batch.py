@@ -65,9 +65,11 @@ from typing import (
 
 from .. import faults
 from ..errors import ConfigurationError, ScenarioExecutionError
+from ..io.placement_json import placement_from_dict
 from ..scenario.spec import ScenarioSpec
 from ..telemetry import MetricStats, configure_from_env, merge_active_trace, span, trace_event
 from .cache import PathLike, StageCache, resolve_cache
+from .solvers import WarmStart
 from .stages import ScenarioResult, run_scenario, scenario_content_digest
 from .store import (
     DEFAULT_HEARTBEAT_S,
@@ -254,17 +256,39 @@ def _worker_payload(
     cache_dir: Optional[str],
     use_cache: bool,
     mmap_arrays: bool = True,
-) -> Tuple[dict, Optional[str], bool, bool]:
+    warm_hint: Optional[dict] = None,
+) -> Tuple[dict, Optional[str], bool, bool, Optional[dict]]:
     """The pickled work unit shipped to one worker process.
 
-    Deliberately tiny: the declarative scenario dictionary and the cache
-    *location* (plus its memmap flag).  Workers rederive every content key
-    from the spec and pull bulk arrays from the shared cache
-    (memory-mapped), so no irradiance matrix -- or any other numpy payload
-    -- ever crosses the process boundary.  A test asserts the serialised
-    size stays in the kilobytes.
+    Deliberately tiny: the declarative scenario dictionary, the cache
+    *location* (plus its memmap flag), and an optional warm-start hint (a
+    neighbour's placement dict -- module anchor tuples, not arrays).
+    Workers rederive every content key from the spec and pull bulk arrays
+    from the shared cache (memory-mapped), so no irradiance matrix -- or
+    any other numpy payload -- ever crosses the process boundary.  A test
+    asserts the serialised size stays in the kilobytes.
     """
-    return (spec.to_dict(), cache_dir, use_cache, mmap_arrays)
+    return (spec.to_dict(), cache_dir, use_cache, mmap_arrays, warm_hint)
+
+
+def _warm_start_from_hint(
+    hint: Union[WarmStart, Mapping[str, Any], None],
+) -> Optional[WarmStart]:
+    """Deserialise a transported warm hint; a malformed one means cold.
+
+    Hints are strictly an accelerant -- any parsing problem downgrades the
+    solve to cold instead of failing the point.
+    """
+    if hint is None or isinstance(hint, WarmStart):
+        return hint
+    try:
+        return WarmStart(
+            placement=placement_from_dict(hint["placement"]),
+            exact_prefix=bool(hint.get("exact_prefix", False)),
+            source=hint.get("source"),
+        )
+    except Exception:
+        return None
 
 
 def execute_point(
@@ -273,6 +297,7 @@ def execute_point(
     cache_dir: Optional[PathLike] = None,
     use_cache: bool = True,
     mmap_arrays: bool = True,
+    warm_hint: Union[WarmStart, Mapping[str, Any], None] = None,
 ) -> Tuple[str, dict]:
     """Run one campaign point and classify the outcome in-process.
 
@@ -293,6 +318,11 @@ def execute_point(
     handle (preserving its hit/miss counters for the caller); otherwise
     ``cache_dir`` opens one in place.  With neither, the point runs
     uncached.
+
+    ``warm_hint`` is a :class:`~repro.runner.solvers.WarmStart` or its
+    transported dict form (``{"placement", "exact_prefix", "source"}``);
+    it reaches warm-start-capable solvers only and never alters the
+    point's identity (the spec digest is hint-free).
     """
     spec = spec if isinstance(spec, ScenarioSpec) else ScenarioSpec.from_dict(spec)
     faults.fire("worker.crash", key=spec.name)
@@ -302,7 +332,12 @@ def execute_point(
             cache = StageCache(
                 root=Path(cache_dir), enabled=use_cache, mmap_arrays=mmap_arrays
             )
-        result = run_scenario(spec, cache=cache, use_cache=use_cache)
+        result = run_scenario(
+            spec,
+            cache=cache,
+            use_cache=use_cache,
+            warm_start=_warm_start_from_hint(warm_hint),
+        )
         return ("ok", result.to_dict())
     except Exception as exc:
         return (
@@ -337,9 +372,13 @@ def _run_scenario_worker(args: tuple) -> Tuple[str, dict]:
     # watchdog).  Both are no-ops unless a fault plan is armed; they fire
     # inside ``execute_point``.
     faults.configure_from_env()
-    spec_dict, cache_dir, use_cache, mmap_arrays = args
+    spec_dict, cache_dir, use_cache, mmap_arrays, warm_hint = args
     return execute_point(
-        spec_dict, cache_dir=cache_dir, use_cache=use_cache, mmap_arrays=mmap_arrays
+        spec_dict,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        mmap_arrays=mmap_arrays,
+        warm_hint=warm_hint,
     )
 
 
@@ -362,8 +401,15 @@ def _drive_points(
     on_stop: Optional[Callable[[int], None]] = None,
     on_tick: Optional[Callable[[Set[int]], Sequence[int]]] = None,
     timeout_s: Optional[float] = None,
+    warm_hint_for: Optional[Callable[[int], Optional[dict]]] = None,
 ) -> None:
     """Execute the points at ``indices``, serially or in worker processes.
+
+    ``warm_hint_for(index)`` (optional) is consulted at *submit* time and
+    may return a transportable warm-start hint dict for the point -- the
+    campaign layer resolves each point's designated neighbour against
+    what has already finished, so hints are best-effort by construction: a
+    neighbour still in flight simply yields a cold solve, never a stall.
 
     ``on_done`` receives the point's wall time as measured *inside* the
     worker (``runtime_s`` of the result record), so queueing delay behind
@@ -449,7 +495,10 @@ def _drive_points(
                 # handle is passed through so its hit/miss counters keep
                 # accumulating across the run.
                 status, record = execute_point(
-                    specs[index], cache=stage_cache, use_cache=use_cache
+                    specs[index],
+                    cache=stage_cache,
+                    use_cache=use_cache,
+                    warm_hint=warm_hint_for(index) if warm_hint_for else None,
                 )
             except _StopRequested:
                 if on_stop is not None:
@@ -527,7 +576,11 @@ def _drive_points(
                     break
                 on_start(index)
                 payload = _worker_payload(
-                    specs[index], cache_dir, use_cache, stage_cache.mmap_arrays
+                    specs[index],
+                    cache_dir,
+                    use_cache,
+                    stage_cache.mmap_arrays,
+                    warm_hint=warm_hint_for(index) if warm_hint_for else None,
                 )
                 future = executor.submit(_run_scenario_worker, payload)
                 pending[future] = index
@@ -602,6 +655,7 @@ def run_batch(
     retry_backoff_s: float = 0.0,
     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    warm_hints: Optional[Mapping[str, Tuple[str, bool]]] = None,
 ) -> BatchResult:
     """Execute a scenario fleet, optionally in parallel, and store results.
 
@@ -644,6 +698,17 @@ def run_batch(
         Heartbeat age beyond which another driver's ``running`` row counts
         as abandoned and is reclaimed (then re-enqueued if it belongs to
         this fleet).
+    warm_hints:
+        Optional warm-start wiring: maps a scenario name to
+        ``(neighbour_name, exact_prefix)`` -- when the point starts, its
+        neighbour's finished placement (from this run or, in campaigns,
+        from done store rows of earlier runs) is offered to the solver as
+        a warm start.  Strictly best-effort and out-of-band: hints never
+        enter spec digests, a missing neighbour means a cold solve, and
+        ``exact_prefix`` must only be set when the neighbour differs
+        solely by a smaller ``n_modules`` (the greedy replay contract).
+        In campaigns the wiring is also persisted on the enrolled rows so
+        detached fleet workers pick the same hints up.
 
     Example
     -------
@@ -732,7 +797,13 @@ def run_batch(
             start = time.perf_counter()
             if result_store is None:
                 results = _run_in_memory(
-                    specs, stage_cache, use_cache, jobs, timeout_s, retry_backoff_s
+                    specs,
+                    stage_cache,
+                    use_cache,
+                    jobs,
+                    timeout_s,
+                    retry_backoff_s,
+                    warm_hints=warm_hints,
                 )
                 summary: Optional[CampaignSummary] = None
             else:
@@ -748,6 +819,7 @@ def run_batch(
                     retry_backoff_s=retry_backoff_s,
                     heartbeat_s=heartbeat_s,
                     stale_after_s=stale_after_s,
+                    warm_hints=warm_hints,
                 )
             runtime = time.perf_counter() - start
     except _StopRequested as stop:
@@ -792,6 +864,7 @@ def _run_in_memory(
     jobs: int,
     timeout_s: Optional[float] = None,
     retry_backoff_s: float = 0.0,
+    warm_hints: Optional[Mapping[str, Tuple[str, bool]]] = None,
 ) -> List[ScenarioResult]:
     """The classic one-pass batch: any scenario failure aborts the run.
 
@@ -802,6 +875,24 @@ def _run_in_memory(
     """
     del retry_backoff_s  # no retries without a store; accepted for symmetry
     records: List[Optional[dict]] = [None] * len(specs)
+    index_by_name = {spec.name: index for index, spec in enumerate(specs)}
+
+    def warm_hint_for(index: int) -> Optional[dict]:
+        if not warm_hints:
+            return None
+        target = warm_hints.get(specs[index].name)
+        if target is None:
+            return None
+        neighbour_name, exact_prefix = target
+        neighbour = index_by_name.get(neighbour_name)
+        record = records[neighbour] if neighbour is not None else None
+        if not record or not record.get("placement"):
+            return None
+        return {
+            "placement": dict(record["placement"]),
+            "exact_prefix": bool(exact_prefix),
+            "source": neighbour_name,
+        }
 
     def on_start(index: int) -> None:
         pass
@@ -837,6 +928,7 @@ def _run_in_memory(
         on_interrupted,
         on_timeout=on_timeout,
         timeout_s=timeout_s,
+        warm_hint_for=warm_hint_for if warm_hints else None,
     )
     return [ScenarioResult.from_dict(record) for record in records]
 
@@ -853,12 +945,40 @@ def _run_campaign(
     retry_backoff_s: float = 0.0,
     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    warm_hints: Optional[Mapping[str, Tuple[str, bool]]] = None,
 ) -> Tuple[List[ScenarioResult], CampaignSummary]:
     """Store-backed execution: enroll, skip done, retry failures, account."""
-    enrolled = store.enroll(campaign, specs)
+    enrolled = store.enroll(campaign, specs, warm_hints=warm_hints)
     store.reset_running(campaign)
     digests = [record.digest for record in enrolled]
     index_by_digest = {digest: index for index, digest in enumerate(digests)}
+    index_by_name = {spec.name: index for index, spec in enumerate(specs)}
+
+    def warm_hint_for(index: int) -> Optional[dict]:
+        if not warm_hints:
+            return None
+        target = warm_hints.get(specs[index].name)
+        if target is None:
+            return None
+        neighbour_name, exact_prefix = target
+        neighbour = index_by_name.get(neighbour_name)
+        if neighbour is None:
+            return None
+        placement: Optional[dict] = None
+        if neighbour in computed:
+            placement = dict(computed[neighbour].placement)
+        else:
+            # A resumed campaign may hold the neighbour from an earlier run.
+            record = store.find_done(digests[neighbour])
+            if record is not None:
+                placement = dict(record.result().placement)
+        if not placement:
+            return None
+        return {
+            "placement": placement,
+            "exact_prefix": bool(exact_prefix),
+            "source": neighbour_name,
+        }
 
     todo = [i for i, record in enumerate(enrolled) if record.status != STATUS_DONE]
     summary = CampaignSummary(
@@ -974,6 +1094,7 @@ def _run_campaign(
         on_stop=on_stop,
         on_tick=on_tick,
         timeout_s=timeout_s,
+        warm_hint_for=warm_hint_for if warm_hints else None,
     )
 
     summary.computed = len(computed)

@@ -16,8 +16,21 @@ budget runs out before an entry starts, the next (cheaper) solver in the
 chain is tried.  The result carries explicit provenance (``degraded``,
 ``fallback_solver``, the abandoned attempts' errors) so reports and
 ``campaign status`` always distinguish an exact answer from a best-effort
-one.  A remaining budget is threaded into the ILP's own ``time_limit_s``,
-so an exact solver degrades by *stopping*, not by being killed.
+one.  A remaining budget is threaded into any chain entry that *declares*
+budget support (its registration names the config option receiving the
+seconds -- ``time_limit_s`` for the ILP), so an anytime solver degrades by
+*stopping*, not by being killed.
+
+Warm starts
+-----------
+:func:`solve` accepts an optional :class:`WarmStart` -- a neighbouring
+instance's placement plus provenance flags -- and forwards it to solvers
+whose registration declares ``supports_warm_start``.  The greedy placer
+resumes from the hint when it is its own solution prefix (the sweep layer
+sets ``exact_prefix`` when only ``n_modules`` grew between neighbour and
+point); the ILP uses the hint as a feasible incumbent (objective cutoff +
+best-so-far answer on timeout).  Solvers without warm-start support simply
+never see the hint, so passing one is always safe.
 """
 
 from __future__ import annotations
@@ -39,6 +52,25 @@ from ..telemetry import span, trace_event
 
 
 @dataclass(frozen=True)
+class WarmStart:
+    """A neighbouring instance's solution offered as a solver starting point.
+
+    ``placement`` is the neighbour's full placement.  ``exact_prefix`` is a
+    promise by the *caller* that the hint is this very problem's own optimal
+    greedy prefix -- the hinted instance differed only by a smaller
+    ``n_modules`` -- which is what allows the greedy placer to replay it
+    verbatim and still match a cold solve module for module.  Without the
+    flag the hint is advisory only: solvers may use it as a feasible
+    incumbent (the ILP does) but never as trusted structure.  ``source``
+    carries provenance (the neighbour point's name or digest) into traces.
+    """
+
+    placement: Placement
+    exact_prefix: bool = False
+    source: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class SolverOutcome:
     """Normalised result of any registered solver.
 
@@ -47,6 +79,12 @@ class SolverOutcome:
     as plain attributes for compatibility with the per-solver result types
     (``GreedyResult``, ``TraditionalResult``, ...) this class replaced at
     the ``plan_roof`` / experiment-driver level.
+
+    ``gap`` is the solver-reported relative optimality gap (0.0 = proven
+    optimal under the solver's own objective, ``None`` = the solver does
+    not report one -- heuristics never do).  ``warm_started`` records
+    whether a :class:`WarmStart` hint actually contributed to this answer
+    (a hint that failed validation leaves it False).
     """
 
     solver: str
@@ -54,6 +92,8 @@ class SolverOutcome:
     suitability: Optional[SuitabilityMap]
     runtime_s: float
     info: Dict[str, Any]
+    gap: Optional[float] = None
+    warm_started: bool = False
 
     def __getattr__(self, name: str) -> Any:
         info = object.__getattribute__(self, "info")
@@ -67,30 +107,76 @@ class SolverOutcome:
 
 #: A solver adapter: problem + options (+ an optional precomputed
 #: suitability map to share across solvers) -> normalised outcome.
-SolverFn = Callable[
-    [FloorplanProblem, Mapping[str, Any], Optional[SuitabilityMap]], SolverOutcome
-]
+#: Adapters registered with ``supports_warm_start=True`` take a fourth
+#: positional argument, the optional :class:`WarmStart` hint; plain
+#: three-argument adapters keep working unchanged.
+SolverFn = Callable[..., SolverOutcome]
 
-_REGISTRY: Dict[str, SolverFn] = {}
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registry entry: the adapter plus its declared capabilities.
+
+    ``supports_warm_start`` gates whether :func:`solve` forwards a
+    :class:`WarmStart` hint to the adapter.  ``budget_option`` names the
+    solver-config option that receives a remaining wall-clock budget in
+    seconds (``None`` = the solver is not anytime); :func:`solve` and
+    :func:`solve_with_fallback` thread budgets through it generically, so
+    a new anytime solver only has to declare the option name.
+    """
+
+    name: str
+    fn: SolverFn
+    supports_warm_start: bool = False
+    budget_option: Optional[str] = None
+
+    @property
+    def supports_budget(self) -> bool:
+        """Whether the solver accepts a wall-clock budget."""
+        return self.budget_option is not None
 
 
-def register_solver(name: str, solver: SolverFn, overwrite: bool = False) -> None:
-    """Register a solver adapter under ``name`` (lower-cased)."""
+_REGISTRY: Dict[str, SolverEntry] = {}
+
+
+def register_solver(
+    name: str,
+    solver: SolverFn,
+    overwrite: bool = False,
+    supports_warm_start: bool = False,
+    budget_option: Optional[str] = None,
+) -> None:
+    """Register a solver adapter under ``name`` (lower-cased).
+
+    ``supports_warm_start`` and ``budget_option`` declare the adapter's
+    capabilities (see :class:`SolverEntry`); leaving them unset registers a
+    plain cold-start solver, which is always safe.
+    """
     key = name.lower()
     if not key:
         raise ConfigurationError("solver name must be non-empty")
     if key in _REGISTRY and not overwrite:
         raise ConfigurationError(f"solver {name!r} is already registered")
-    _REGISTRY[key] = solver
+    _REGISTRY[key] = SolverEntry(
+        name=key,
+        fn=solver,
+        supports_warm_start=supports_warm_start,
+        budget_option=budget_option,
+    )
 
 
-def get_solver(name: str) -> SolverFn:
-    """Look up a registered solver adapter."""
+def get_solver_entry(name: str) -> SolverEntry:
+    """Look up a registered solver entry (adapter + capabilities)."""
     try:
         return _REGISTRY[name.lower()]
     except KeyError as exc:
         known = ", ".join(sorted(_REGISTRY))
         raise ConfigurationError(f"unknown solver {name!r}; known: {known}") from exc
+
+
+def get_solver(name: str) -> SolverFn:
+    """Look up a registered solver adapter."""
+    return get_solver_entry(name).fn
 
 
 def available_solvers() -> list:
@@ -103,23 +189,46 @@ def solve(
     solver: str = "greedy",
     options: Optional[Mapping[str, Any]] = None,
     suitability: Optional[SuitabilityMap] = None,
+    warm_start: Optional[WarmStart] = None,
+    budget_s: Optional[float] = None,
 ) -> SolverOutcome:
-    """Run the named solver on a problem instance."""
-    solver_fn = get_solver(solver)
-    with span(f"solver.{solver.lower()}", n_modules=problem.n_modules) as solver_span:
+    """Run the named solver on a problem instance.
+
+    ``warm_start`` is forwarded only to solvers that declare warm-start
+    support; ``budget_s`` is threaded into the solver's declared budget
+    option (e.g. the ILP's ``time_limit_s``) and silently dropped for
+    solvers without one -- heuristics that always terminate fast need no
+    budget plumbing.  An explicit option set by the caller wins over the
+    threaded budget.
+    """
+    entry = get_solver_entry(solver)
+    opts = dict(options or {})
+    if budget_s is not None and entry.supports_budget:
+        opts.setdefault(entry.budget_option, max(float(budget_s), 0.1))
+    hint = warm_start if entry.supports_warm_start else None
+    with span(f"solver.{entry.name}", n_modules=problem.n_modules) as solver_span:
         # Chaos hook: an armed ``solver.error`` injector raises here, inside
         # the solver span, exactly where a real solver-library crash would.
-        faults.fire("solver.error", key=f"{problem.label}:{solver.lower()}")
-        outcome = solver_fn(problem, dict(options or {}), suitability)
+        faults.fire("solver.error", key=f"{problem.label}:{entry.name}")
+        # The hint argument is part of the warm-start capability contract:
+        # only declared-capable adapters receive it, so pre-existing
+        # three-argument solvers keep working unchanged.
+        if entry.supports_warm_start:
+            outcome = entry.fn(problem, opts, suitability, hint)
+        else:
+            outcome = entry.fn(problem, opts, suitability)
         if solver_span.active:
             solver_span.set(
                 runtime_s=round(outcome.runtime_s, 6),
+                warm_started=outcome.warm_started,
                 **{
                     key: value
                     for key, value in outcome.info.items()
                     if isinstance(value, (bool, int, float, str))
                 },
             )
+            if outcome.gap is not None:
+                solver_span.set(gap=round(outcome.gap, 9))
         return outcome
 
 
@@ -147,6 +256,7 @@ def solve_with_fallback(
     suitability: Optional[SuitabilityMap] = None,
     fallback: Sequence[str] = (),
     budget_s: Optional[float] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> FallbackOutcome:
     """Run a solver chain, degrading to cheaper entries on error or budget.
 
@@ -162,8 +272,12 @@ def solve_with_fallback(
         Wall-clock budget over the whole chain.  An entry whose turn comes
         after the budget is exhausted is skipped (the *last* entry always
         runs -- graceful degradation must produce an answer), and the
-        remaining budget is threaded into the ILP's ``time_limit_s`` so an
-        exact solve stops at the boundary instead of overshooting it.
+        remaining budget is threaded into the declared budget option of
+        any entry that supports one (the ILP's ``time_limit_s``), so an
+        anytime solve stops at the boundary instead of overshooting it.
+    warm_start:
+        Optional placement hint forwarded to every chain entry; entries
+        without declared warm-start support never see it.
 
     Raises the last entry's error when every entry fails; a
     :class:`~repro.errors.ConfigurationError` (unknown solver, bad
@@ -174,9 +288,10 @@ def solve_with_fallback(
     failures: list = []
     start = time.perf_counter()
     for position, name in enumerate(chain):
-        get_solver(name)  # unknown names fail loudly even mid-chain
+        get_solver_entry(name)  # unknown names fail loudly even mid-chain
         last = position == len(chain) - 1
         opts = dict(options or {}) if position == 0 else {}
+        remaining_s: Optional[float] = None
         if budget_s is not None:
             remaining = budget_s - (time.perf_counter() - start)
             if remaining <= 0 and not last:
@@ -184,10 +299,17 @@ def solve_with_fallback(
                     f"{name}: skipped (chain budget {budget_s:g}s exhausted)"
                 )
                 continue
-            if name.lower() == "ilp" and remaining > 0:
-                opts.setdefault("time_limit_s", max(remaining, 0.1))
+            if remaining > 0:
+                remaining_s = remaining
         try:
-            outcome = solve(problem, name, opts, suitability)
+            outcome = solve(
+                problem,
+                name,
+                opts,
+                suitability,
+                warm_start=warm_start,
+                budget_s=remaining_s,
+            )
         except ConfigurationError:
             raise
         except Exception as exc:
@@ -223,15 +345,22 @@ def _greedy(
     problem: FloorplanProblem,
     options: Mapping[str, Any],
     suitability: Optional[SuitabilityMap],
+    warm_start: Optional[WarmStart] = None,
 ) -> SolverOutcome:
     config = _build_config(GreedyConfig, options, "greedy")
-    result = greedy_floorplan(problem, suitability=suitability, config=config)
+    result = greedy_floorplan(
+        problem, suitability=suitability, config=config, warm_start=warm_start
+    )
     return SolverOutcome(
         solver="greedy",
         placement=result.placement,
         suitability=result.suitability,
         runtime_s=result.runtime_s,
-        info={"relaxed_threshold_count": result.relaxed_threshold_count},
+        info={
+            "relaxed_threshold_count": result.relaxed_threshold_count,
+            "warm_modules": result.warm_modules,
+        },
+        warm_started=result.warm_modules > 0,
     )
 
 
@@ -255,9 +384,12 @@ def _ilp(
     problem: FloorplanProblem,
     options: Mapping[str, Any],
     suitability: Optional[SuitabilityMap],
+    warm_start: Optional[WarmStart] = None,
 ) -> SolverOutcome:
     config = _build_config(ILPConfig, options, "ilp")
-    result = ilp_floorplan(problem, suitability=suitability, config=config)
+    result = ilp_floorplan(
+        problem, suitability=suitability, config=config, warm_start=warm_start
+    )
     return SolverOutcome(
         solver="ilp",
         placement=result.placement,
@@ -267,6 +399,8 @@ def _ilp(
             "objective_value": result.objective_value,
             "solver_status": result.solver_status,
         },
+        gap=result.gap,
+        warm_started=result.warm_started,
     )
 
 
@@ -286,10 +420,11 @@ def _exhaustive(
             "best_energy_wh": result.best_energy_wh,
             "n_combinations_evaluated": result.n_combinations_evaluated,
         },
+        gap=0.0,
     )
 
 
-register_solver("greedy", _greedy)
+register_solver("greedy", _greedy, supports_warm_start=True)
 register_solver("traditional", _traditional)
-register_solver("ilp", _ilp)
+register_solver("ilp", _ilp, supports_warm_start=True, budget_option="time_limit_s")
 register_solver("exhaustive", _exhaustive)

@@ -47,7 +47,7 @@ from ..solar.time_series import TimeGrid
 from ..telemetry import span
 from ..weather.records import WeatherSeries
 from .cache import CACHE_FORMAT_VERSION, StageCache, content_digest, resolve_cache
-from .solvers import SolverOutcome, solve, solve_with_fallback
+from .solvers import SolverOutcome, WarmStart, solve, solve_with_fallback
 
 #: Stage names used both as cache sub-directories and as keys of the
 #: per-scenario ``stage_cached`` provenance map.
@@ -361,6 +361,13 @@ class ScenarioResult:
     degraded: bool = False
     fallback_solver: Optional[str] = None
     degradation_reason: Optional[str] = None
+    #: Warm-start provenance: True when a neighbour's placement actually
+    #: contributed to the solve.  Like ``runtime_s`` this is provenance,
+    #: not part of the fingerprint -- warm and cold runs of the same
+    #: scenario are interchangeable by construction.
+    warm_started: bool = False
+    #: Solver-reported relative optimality gap (None = not reported).
+    gap: Optional[float] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable record (one JSONL line)."""
@@ -385,6 +392,8 @@ class ScenarioResult:
             "degraded": self.degraded,
             "fallback_solver": self.fallback_solver,
             "degradation_reason": self.degradation_reason,
+            "warm_started": self.warm_started,
+            "gap": self.gap,
         }
 
     @classmethod
@@ -413,6 +422,8 @@ class ScenarioResult:
             degraded=bool(data.get("degraded", False)),
             fallback_solver=data.get("fallback_solver"),
             degradation_reason=data.get("degradation_reason"),
+            warm_started=bool(data.get("warm_started", False)),
+            gap=None if data.get("gap") is None else float(data["gap"]),
         )
 
     def fingerprint(self) -> dict:
@@ -455,6 +466,7 @@ def run_scenario(
     spec: ScenarioSpec,
     cache: Optional[StageCache] = None,
     use_cache: bool = True,
+    warm_start: Optional[WarmStart] = None,
 ) -> ScenarioResult:
     """Execute one scenario through the staged pipeline.
 
@@ -467,6 +479,11 @@ def run_scenario(
     use_cache:
         Set False to force recomputation of every stage (the handle's own
         ``enabled`` flag also applies when a :class:`StageCache` is passed).
+    warm_start:
+        Optional neighbour placement hint forwarded to warm-start-capable
+        solvers.  Hints travel out-of-band -- they are never part of the
+        spec, so a scenario's content digest (and therefore its identity in
+        caches and stores) is the same warm or cold.
     """
     start = time.perf_counter()
     stage_cache = resolve_cache(cache, enabled=use_cache)
@@ -527,6 +544,7 @@ def run_scenario(
                 suitability,
                 fallback=spec.solver.fallback,
                 budget_s=spec.solver.budget_s,
+                warm_start=warm_start if spec.solver.warm_start else None,
             )
             outcome = chain.outcome
             if (
@@ -572,4 +590,6 @@ def run_scenario(
         degraded=chain.degraded,
         fallback_solver=chain.fallback_solver,
         degradation_reason="; ".join(chain.failures) if chain.failures else None,
+        warm_started=outcome.warm_started,
+        gap=outcome.gap,
     )

@@ -72,10 +72,12 @@ from .stages import ScenarioResult, scenario_content_digest
 STORE_PATH_ENV = "REPRO_STORE_PATH"
 
 #: Bump when the table layout changes.  Version 2 (lease/heartbeat +
-#: degradation provenance columns) and version 3 (the ``priority`` tier
-#: column used by the ``repro serve`` admission layer) migrate older stores
-#: in place; anything newer than the build is rejected.
-STORE_SCHEMA_VERSION = 3
+#: degradation provenance columns), version 3 (the ``priority`` tier
+#: column used by the ``repro serve`` admission layer) and version 4 (the
+#: warm-start wiring columns ``warm_hint_digest``/``warm_exact_prefix``)
+#: migrate older stores in place; anything newer than the build is
+#: rejected.
+STORE_SCHEMA_VERSION = 4
 
 #: Row lifecycle states.
 STATUS_PENDING = "pending"
@@ -138,6 +140,8 @@ CREATE TABLE IF NOT EXISTS points (
     degraded INTEGER NOT NULL DEFAULT 0,
     fallback_solver TEXT,
     priority TEXT NOT NULL DEFAULT 'batch',
+    warm_hint_digest TEXT,
+    warm_exact_prefix INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (campaign, digest)
 );
 CREATE INDEX IF NOT EXISTS idx_points_status ON points (campaign, status);
@@ -205,6 +209,12 @@ class PointRecord:
     degraded: bool = False
     fallback_solver: Optional[str] = None
     priority: str = PRIORITY_BATCH
+    #: Warm-start wiring written at enrollment: the content digest of the
+    #: neighbour whose done placement should seed this point's solver, and
+    #: whether that neighbour differs only by a smaller ``n_modules`` (the
+    #: greedy exact-replay contract).  ``None`` = solve cold.
+    warm_hint_digest: Optional[str] = None
+    warm_exact_prefix: bool = False
 
     def spec(self) -> ScenarioSpec:
         """Rebuild the point's declarative scenario."""
@@ -396,10 +406,12 @@ class ResultStore:
             elif int(row["value"]) < STORE_SCHEMA_VERSION:
                 # In-place stepwise migration: every bump so far is purely
                 # additive (v2: lease/heartbeat liveness + degradation
-                # provenance, v3: the admission-priority tier), so existing
-                # campaign state survives verbatim.  Old rows take the
-                # column defaults -- notably ``priority='batch'``, keeping
-                # the pre-priority claim ordering for legacy campaigns.
+                # provenance, v3: the admission-priority tier, v4: the
+                # warm-start wiring), so existing campaign state survives
+                # verbatim.  Old rows take the column defaults -- notably
+                # ``priority='batch'``, keeping the pre-priority claim
+                # ordering for legacy campaigns, and a NULL
+                # ``warm_hint_digest``, meaning legacy points solve cold.
                 columns = []
                 if int(row["value"]) < 2:
                     columns += [
@@ -410,6 +422,11 @@ class ResultStore:
                     ]
                 if int(row["value"]) < 3:
                     columns += ["priority TEXT NOT NULL DEFAULT 'batch'"]
+                if int(row["value"]) < 4:
+                    columns += [
+                        "warm_hint_digest TEXT",
+                        "warm_exact_prefix INTEGER NOT NULL DEFAULT 0",
+                    ]
                 for column in columns:
                     try:
                         self._conn.execute(f"ALTER TABLE points ADD COLUMN {column}")
@@ -446,6 +463,7 @@ class ResultStore:
         campaign: str,
         specs: Sequence[ScenarioSpec],
         priority: str = PRIORITY_BATCH,
+        warm_hints: Optional[Mapping[str, Tuple[str, bool]]] = None,
     ) -> List[PointRecord]:
         """Register the campaign's points, keeping any existing state.
 
@@ -454,7 +472,13 @@ class ResultStore:
         again is exactly the resume entry point.  ``priority`` stamps the
         admission tier of *newly created* rows: ``interactive`` points are
         claimed ahead of ``batch`` ones by :meth:`claim_next_pending`.
-        Returns the stored records in ``specs`` order.
+        ``warm_hints`` maps a spec name to ``(neighbour_name, exact_prefix)``
+        -- the neighbour must be in this enrollment -- and is written into
+        the ``warm_hint_digest``/``warm_exact_prefix`` columns so detached
+        fleet workers resolve the same hints the driver would; unlike the
+        lifecycle state it IS refreshed on re-enrollment (wiring is
+        routing, not identity).  Returns the stored records in ``specs``
+        order.
         """
         if not campaign:
             raise ConfigurationError("a campaign needs a non-empty name")
@@ -468,6 +492,21 @@ class ResultStore:
                 f"campaign {campaign!r}: duplicate scenario content digests "
                 "(identical specs enrolled twice)"
             )
+        digest_by_name = {spec.name: digest for spec, digest in zip(specs, digests)}
+        hint_columns: List[Tuple[Optional[str], int]] = []
+        for spec in specs:
+            target = warm_hints.get(spec.name) if warm_hints else None
+            if target is None:
+                hint_columns.append((None, 0))
+                continue
+            neighbour_name, exact_prefix = target
+            neighbour_digest = digest_by_name.get(neighbour_name)
+            if neighbour_digest is None:
+                raise ConfigurationError(
+                    f"warm hint for {spec.name!r} references {neighbour_name!r}, "
+                    "which is not part of this enrollment"
+                )
+            hint_columns.append((neighbour_digest, int(bool(exact_prefix))))
         now = time.time()
 
         def operate(conn: sqlite3.Connection) -> None:
@@ -479,13 +518,16 @@ class ResultStore:
                 (campaign,),
             ).fetchone()
             next_position = int(row["top"]) + 1
-            for spec, digest in zip(specs, digests):
+            for spec, digest, (hint_digest, hint_exact) in zip(
+                specs, digests, hint_columns
+            ):
                 cursor = conn.execute(
                     """
                     INSERT OR IGNORE INTO points
                         (campaign, digest, name, position, status, attempts,
-                         spec, created_at, updated_at, priority)
-                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?, ?)
+                         spec, created_at, updated_at, priority,
+                         warm_hint_digest, warm_exact_prefix)
+                    VALUES (?, ?, ?, ?, 'pending', 0, ?, ?, ?, ?, ?, ?)
                     """,
                     (
                         campaign,
@@ -496,10 +538,20 @@ class ResultStore:
                         now,
                         now,
                         priority,
+                        hint_digest,
+                        hint_exact,
                     ),
                 )
                 if cursor.rowcount:
                     next_position += 1
+                elif warm_hints is not None:
+                    conn.execute(
+                        """
+                        UPDATE points SET warm_hint_digest=?, warm_exact_prefix=?
+                        WHERE campaign=? AND digest=?
+                        """,
+                        (hint_digest, hint_exact, campaign, digest),
+                    )
 
         with span("store.enroll", campaign=campaign, n_specs=len(specs)):
             self._write(operate, key=campaign)
@@ -902,6 +954,8 @@ class ResultStore:
             degraded=bool(row["degraded"]),
             fallback_solver=row["fallback_solver"],
             priority=row["priority"] or PRIORITY_BATCH,
+            warm_hint_digest=row["warm_hint_digest"],
+            warm_exact_prefix=bool(row["warm_exact_prefix"]),
         )
 
     def point(self, campaign: str, digest: str) -> PointRecord:
@@ -945,6 +999,32 @@ class ResultStore:
             (digest,),
         ).fetchone()
         return None if row is None else self._record(row)
+
+    def warm_hint(self, record: PointRecord) -> Optional[dict]:
+        """Resolve a point's enrolled warm-start wiring into a hint dict.
+
+        Returns the transportable ``{"placement", "exact_prefix", "source"}``
+        form :func:`~repro.runner.batch.execute_point` accepts, or ``None``
+        when the point has no wiring or its neighbour has not finished yet
+        -- the caller then simply solves cold, so picking hints up is
+        always safe.
+        """
+        if record.warm_hint_digest is None:
+            return None
+        neighbour = self.find_done(record.warm_hint_digest)
+        if neighbour is None:
+            return None
+        try:
+            placement = neighbour.result().placement
+        except ConfigurationError:  # pragma: no cover - done row without result
+            return None
+        if not placement:
+            return None
+        return {
+            "placement": dict(placement),
+            "exact_prefix": record.warm_exact_prefix,
+            "source": neighbour.name,
+        }
 
     def queue_depth(self, campaign: str) -> int:
         """Number of not-yet-terminal rows (``pending`` + ``running``).

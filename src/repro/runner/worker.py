@@ -162,6 +162,7 @@ class _Worker:
         poll_s: float,
         max_points: Optional[int],
         wait_for_stragglers: bool,
+        warm_start: bool = True,
     ) -> None:
         self.campaign = campaign
         self.store = store
@@ -177,6 +178,7 @@ class _Worker:
         self.poll_s = poll_s
         self.max_points = max_points
         self.wait_for_stragglers = wait_for_stragglers
+        self.warm_start = warm_start
         self.summary = WorkerSummary(campaign=campaign, worker_id=worker_id)
         self._executor: Optional[ProcessPoolExecutor] = None
 
@@ -237,11 +239,16 @@ class _Worker:
     def _run_point(self, claimed: ClaimedPoint) -> None:
         point = claimed.point
         spec = ScenarioSpec.from_dict(point.spec_dict)
+        # Warm-start pickup: the wiring was written at enrollment, the
+        # neighbour's placement is read now -- a fleet worker claiming a
+        # point late automatically sees more finished neighbours than an
+        # eager one.  Resolved once per point: retries reuse the same hint.
+        warm_hint = self.store.warm_hint(point) if self.warm_start else None
         error_attempts = 0
         interrupted_passes = 0
         try:
             while True:
-                outcome, payload, elapsed = self._attempt(spec, point.digest)
+                outcome, payload, elapsed = self._attempt(spec, point.digest, warm_hint)
                 if outcome == "ok":
                     if self.store.mark_done(
                         self.campaign,
@@ -327,7 +334,7 @@ class _Worker:
     # -- one attempt --------------------------------------------------------------
 
     def _attempt(
-        self, spec: ScenarioSpec, digest: str
+        self, spec: ScenarioSpec, digest: str, warm_hint: Optional[Dict[str, Any]] = None
     ) -> Tuple[str, Dict[str, Any], float]:
         """Execute one attempt; returns ``(outcome, payload, elapsed_s)``.
 
@@ -336,13 +343,15 @@ class _Worker:
         budget), ``"interrupted"`` (the child process died).
         """
         if self.serial:
-            return self._attempt_serial(spec)
-        return self._attempt_pooled(spec, digest)
+            return self._attempt_serial(spec, warm_hint)
+        return self._attempt_pooled(spec, digest, warm_hint)
 
-    def _attempt_serial(self, spec: ScenarioSpec) -> Tuple[str, Dict[str, Any], float]:
+    def _attempt_serial(
+        self, spec: ScenarioSpec, warm_hint: Optional[Dict[str, Any]] = None
+    ) -> Tuple[str, Dict[str, Any], float]:
         start = time.perf_counter()
         status, record = execute_point(
-            spec, cache=self.stage_cache, use_cache=self.use_cache
+            spec, cache=self.stage_cache, use_cache=self.use_cache, warm_hint=warm_hint
         )
         elapsed = time.perf_counter() - start
         if (
@@ -359,11 +368,15 @@ class _Worker:
         return (status, record, elapsed)
 
     def _attempt_pooled(
-        self, spec: ScenarioSpec, digest: str
+        self, spec: ScenarioSpec, digest: str, warm_hint: Optional[Dict[str, Any]] = None
     ) -> Tuple[str, Dict[str, Any], float]:
         cache_dir = str(self.stage_cache.root) if self.stage_cache.enabled else None
         payload = _worker_payload(
-            spec, cache_dir, self.use_cache, self.stage_cache.mmap_arrays
+            spec,
+            cache_dir,
+            self.use_cache,
+            self.stage_cache.mmap_arrays,
+            warm_hint=warm_hint,
         )
         future = self._pool().submit(_run_scenario_worker, payload)
         start = time.monotonic()
@@ -431,6 +444,7 @@ def run_worker(
     poll_s: float = DEFAULT_POLL_S,
     max_points: Optional[int] = None,
     wait_for_stragglers: bool = True,
+    warm_start: bool = True,
 ) -> WorkerSummary:
     """Join a campaign as one worker of a cooperative fleet.
 
@@ -462,6 +476,11 @@ def run_worker(
     wait_for_stragglers:
         When ``False``, exit as soon as no row is claimable instead of
         waiting to adopt siblings' leases should they die.
+    warm_start:
+        When ``True`` (default), claimed points with warm-start wiring
+        (``warm_hint_digest`` written at enrollment) pick their neighbour's
+        done placement up from the store and offer it to the solver; set
+        ``False`` to force every point cold.
     """
     if retries < 0:
         raise ConfigurationError("retries must be >= 0")
@@ -502,6 +521,7 @@ def run_worker(
         poll_s=poll_s,
         max_points=max_points,
         wait_for_stragglers=wait_for_stragglers,
+        warm_start=warm_start,
     )
     summary = driver.summary
 

@@ -319,15 +319,18 @@ class SolverSpec:
     ``fallback`` names cheaper solvers tried in order when the configured
     one raises or the chain's wall-clock ``budget_s`` runs out (see
     :func:`repro.runner.solvers.solve_with_fallback`); results produced by
-    a fallback entry are flagged ``degraded``.  Both fields serialise only
-    when set, so scenarios without a chain keep their dictionary form --
-    and therefore their content digests -- unchanged.
+    a fallback entry are flagged ``degraded``.  ``warm_start=False`` opts
+    the scenario out of warm-start hints offered by sweeps or campaign
+    workers -- its points always solve cold.  All three fields serialise
+    only when set (non-default), so plain scenarios keep their dictionary
+    form -- and therefore their content digests -- unchanged.
     """
 
     name: str = "greedy"
     options: Mapping[str, Any] = field(default_factory=dict)
     fallback: Tuple[str, ...] = ()
     budget_s: Optional[float] = None
+    warm_start: bool = True
 
     def to_dict(self) -> dict:
         data: Dict[str, Any] = {"name": self.name, "options": dict(self.options)}
@@ -335,6 +338,8 @@ class SolverSpec:
             data["fallback"] = list(self.fallback)
         if self.budget_s is not None:
             data["budget_s"] = self.budget_s
+        if not self.warm_start:
+            data["warm_start"] = False
         return data
 
     @classmethod
@@ -345,6 +350,7 @@ class SolverSpec:
             options=dict(data.get("options", {})),
             fallback=tuple(str(name) for name in data.get("fallback", [])),
             budget_s=None if budget is None else float(budget),
+            warm_start=bool(data.get("warm_start", True)),
         )
 
 

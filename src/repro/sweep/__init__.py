@@ -74,6 +74,7 @@ def run_sweep(
     retries: int = 0,
     timeout_s: Optional[float] = None,
     retry_backoff_s: float = 0.0,
+    warm_start: Optional[bool] = None,
 ) -> SweepResult:
     """Expand a sweep plan and execute every point through the batch runner.
 
@@ -109,6 +110,15 @@ def run_sweep(
     retry_backoff_s:
         Base delay between retry attempts of one point (exponential with
         deterministic jitter); ``0`` retries immediately.
+    warm_start:
+        When True the sweep executes its points in axis-ascending order and
+        offers every point its nearest already-solved neighbour's placement
+        as a solver warm start (:meth:`SweepPlan.warm_execution`); ``None``
+        falls back to the plan's own ``warm_start`` flag.  Warm starts are
+        best-effort hints carried out-of-band: point digests, cache keys and
+        the aggregated table (which stays in plan-point order) are identical
+        to a cold run -- only runtimes and the ``warm_started``/``gap``
+        provenance fields change.
 
     Returns
     -------
@@ -127,9 +137,14 @@ def run_sweep(
     """
     points = plan.points()
     effective_timeout = timeout_s if timeout_s is not None else plan.timeout_s
-    with span("sweep", plan=plan.name, n_points=len(points)):
+    effective_warm = plan.warm_start if warm_start is None else warm_start
+    if effective_warm:
+        ordered_points, warm_hints = plan.warm_execution()
+    else:
+        ordered_points, warm_hints = points, None
+    with span("sweep", plan=plan.name, n_points=len(points), warm=effective_warm):
         batch = run_batch(
-            [point.spec for point in points],
+            [point.spec for point in ordered_points],
             cache=cache,
             jobs=jobs,
             results_path=results_path,
@@ -140,6 +155,7 @@ def run_sweep(
             retries=retries,
             timeout_s=effective_timeout,
             retry_backoff_s=retry_backoff_s,
+            warm_hints=warm_hints,
         )
     summary = batch.campaign
     if summary is not None and (summary.failed or summary.timed_out):

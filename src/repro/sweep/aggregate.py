@@ -186,6 +186,25 @@ class SweepResult:
             known = ", ".join(self.axis_keys)
             raise ConfigurationError(f"unknown sweep axis {key!r}; axes: {known}")
 
+    # -- warm-start accounting -----------------------------------------------------
+
+    def warm_started_count(self) -> int:
+        """Number of points whose solver actually consumed a warm-start hint."""
+        return sum(1 for result in self.results() if result.warm_started)
+
+    def gap_by_point(self) -> Dict[str, float]:
+        """Reported optimality gap per point, for points that reported one.
+
+        Greedy points never report a gap; ILP points report ``0.0`` on a
+        proven optimum and the solver's relative gap when an anytime budget
+        stopped the search early.
+        """
+        return {
+            point.name: point.result.gap
+            for point in self.points
+            if point.result.gap is not None
+        }
+
     # -- cache-reuse accounting ----------------------------------------------------
 
     def cache_hit_counts(self) -> Dict[str, int]:
@@ -214,6 +233,8 @@ class SweepResult:
             "total_energy_mwh": sum(r.annual_energy_mwh for r in self.results()),
             "cache_hits_by_stage": self.cache_hit_counts(),
             "cache_recomputes_by_stage": self.stage_recompute_counts(),
+            "n_warm_started": self.warm_started_count(),
+            "max_gap": max(self.gap_by_point().values(), default=None),
             "campaign": None if self.campaign is None else self.campaign.as_dict(),
         }
 

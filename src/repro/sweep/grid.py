@@ -161,6 +161,11 @@ class SweepPlan:
     #: ``None`` leaves points unbounded.  A ``--timeout`` on the CLI (or the
     #: ``timeout_s`` argument of :func:`repro.sweep.run_sweep`) overrides it.
     timeout_s: Optional[float] = None
+    #: When True the sweep runs warm-started: points execute in
+    #: axis-ascending order and each point's solver is offered its nearest
+    #: already-solved neighbour's placement (see :meth:`warm_execution`).
+    #: Results are bit-identical to a cold run -- only runtimes change.
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -233,6 +238,114 @@ class SweepPlan:
         """The concrete scenarios of the sweep, in point order."""
         return [point.spec for point in self.points()]
 
+    # -- warm-start wiring ---------------------------------------------------------
+
+    def _axis_ranks(self) -> List[List[int]]:
+        """Per axis: rank of each value index in ascending value order.
+
+        Numeric axes rank by value so warm execution walks e.g. an
+        ``n_modules`` ladder small-to-large regardless of declaration
+        order; non-numeric axes (roof names, solver names, ...) keep
+        declaration order, which is as good an ordering as any.
+        """
+        ranks: List[List[int]] = []
+        for axis in self.axes:
+            numeric = all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in axis.values
+            )
+            indices = list(range(len(axis.values)))
+            if numeric:
+                indices.sort(key=lambda i: axis.values[i])
+            rank = [0] * len(axis.values)
+            for position, index in enumerate(indices):
+                rank[index] = position
+            ranks.append(rank)
+        return ranks
+
+    @staticmethod
+    def _exact_prefix_pair(neighbour: SweepPoint, point: SweepPoint) -> bool:
+        """True when ``point`` differs from ``neighbour`` only by a larger
+        (or equal) ``n_modules`` -- the case where a greedy prefix replay is
+        exact, not merely a heuristic hint."""
+        keys = set(neighbour.overrides) | set(point.overrides)
+        differing = [
+            key
+            for key in keys
+            if neighbour.overrides.get(key) != point.overrides.get(key)
+        ]
+        if len(differing) != 1 or differing[0].rsplit(".", 1)[-1] != "n_modules":
+            return False
+        before = neighbour.overrides.get(differing[0])
+        after = point.overrides.get(differing[0])
+        return (
+            isinstance(before, (int, float))
+            and isinstance(after, (int, float))
+            and before <= after
+        )
+
+    def warm_execution(self) -> Tuple[List[SweepPoint], dict]:
+        """Warm execution order plus per-point neighbour wiring.
+
+        Returns ``(ordered_points, warm_hints)`` where ``ordered_points``
+        is :meth:`points` reordered so every point's designated neighbour
+        precedes it, and ``warm_hints`` maps point name to
+        ``(neighbour_name, exact_prefix)`` as consumed by
+        :func:`repro.runner.run_batch`.
+
+        Neighbour choice: in ``grid`` mode each point prefers the point one
+        step below it on the ``n_modules`` axis (an exact greedy prefix);
+        failing that, one step below on the fastest-varying axis with room
+        to step (a heuristic hint -- greedy ignores it, ILP uses it as an
+        incumbent).  The axis-origin point runs cold.  ``zip`` mode chains
+        points in ranked order.  Hints are best-effort routing, not
+        dependencies: a missing or failed neighbour just means that point
+        solves cold.
+        """
+        points = self.points()
+        index_tuples = self._index_tuples()
+        ranks = self._axis_ranks()
+        ranked = [
+            tuple(ranks[a][i] for a, i in enumerate(indices))
+            for indices in index_tuples
+        ]
+        order = sorted(range(len(points)), key=lambda p: ranked[p])
+        warm_hints: dict = {}
+        if self.mode == "zip":
+            for position in range(1, len(order)):
+                point = points[order[position]]
+                neighbour = points[order[position - 1]]
+                warm_hints[point.name] = (
+                    neighbour.name,
+                    self._exact_prefix_pair(neighbour, point),
+                )
+            return [points[p] for p in order], warm_hints
+        by_ranked = {ranked[p]: p for p in range(len(points))}
+        n_modules_axis = next(
+            (a for a, axis in enumerate(self.axes) if axis.key == "n_modules"),
+            None,
+        )
+        for p, r in enumerate(ranked):
+            step_axis = None
+            if n_modules_axis is not None and r[n_modules_axis] > 0:
+                step_axis = n_modules_axis
+            else:
+                for a in reversed(range(len(r))):
+                    if r[a] > 0:
+                        step_axis = a
+                        break
+            if step_axis is None:
+                continue  # the all-axes-origin point: runs cold
+            stepped = list(r)
+            stepped[step_axis] -= 1
+            neighbour = points[by_ranked[tuple(stepped)]]
+            point = points[p]
+            warm_hints[point.name] = (
+                neighbour.name,
+                self._exact_prefix_pair(neighbour, point),
+            )
+        return [points[p] for p in order], warm_hints
+
     @property
     def campaign_name(self) -> str:
         """Default result-store campaign name of this sweep.
@@ -260,6 +373,8 @@ class SweepPlan:
         # byte-for-byte as before.
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
+        if self.warm_start:
+            data["warm_start"] = True
         return data
 
     @classmethod
@@ -276,6 +391,7 @@ class SweepPlan:
                 mode=str(data.get("mode", "grid")),
                 description=str(data.get("description", "")),
                 timeout_s=None if timeout_s is None else float(timeout_s),
+                warm_start=bool(data.get("warm_start", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed sweep plan: {exc}") from exc
